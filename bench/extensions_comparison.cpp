@@ -1,0 +1,48 @@
+// Extension study: Bumblebee against the two POM ancestors the paper
+// cites but does not plot — PoM (reference [6], competing-counter sector
+// swaps) and MemPod (reference [8], interval-based MEA migration) — on
+// one workload per Figure 1 quadrant.
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main() {
+  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 60'000);
+  sim::SystemConfig sys_cfg;
+  sys_cfg.warmup_ratio =
+      static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 200)) / 100.0;
+  sim::System system(sys_cfg);
+
+  const std::vector<std::string> workloads = {"mcf", "wrf", "xz", "roms"};
+  const std::vector<std::string> designs = {"PoM", "MemPod", "Chameleon",
+                                            "Bumblebee"};
+
+  std::cout << "Normalized IPC: Bumblebee vs POM-family designs\n";
+  std::vector<std::string> headers = {"design"};
+  for (const auto& w : workloads) headers.push_back(w);
+  TextTable table(headers);
+
+  std::vector<sim::RunResult> base;
+  std::vector<u64> instr;
+  for (const auto& name : workloads) {
+    const auto& w = trace::WorkloadProfile::by_name(name);
+    instr.push_back(sim::default_instructions_for(w, target_misses));
+    base.push_back(system.run("DRAM-only", w, instr.back()));
+  }
+  for (const auto& d : designs) {
+    std::vector<std::string> row = {d};
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const auto& w = trace::WorkloadProfile::by_name(workloads[i]);
+      const auto r = system.run(d, w, instr[i]);
+      row.push_back(fmt_double(r.ipc / base[i].ipc, 2));
+      std::cerr << '.' << std::flush;
+    }
+    std::cerr << '\n';
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  return 0;
+}

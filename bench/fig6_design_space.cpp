@@ -1,0 +1,72 @@
+// Figure 6 reproduction: design-space exploration over block and page size.
+//
+// Normalized IPC (geomean over all Table II benchmarks, vs the DRAM-only
+// baseline) for block-page combinations {1,2,4} KB x {64,96,128} KB, and
+// the metadata budget of each configuration (all must fit in 512 KB SRAM).
+//
+// Paper reference values (block-page, KB): 1-64: 1.98, 1-96: 1.93,
+// 1-128: 1.86, 2-64: 2.00, 2-96: 1.93, 2-128: 1.87, 4-64: 1.93,
+// 4-96: 1.85, 4-128: 1.78. Best: 2 KB blocks, 64 KB pages.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main() {
+  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 50'000);
+  sim::SystemConfig sys_cfg;
+  // Steady-state measurement: warm up several multiples of the measured
+  // window (BB_WARMUP_PCT, percent of the measured instructions).
+  sys_cfg.warmup_ratio =
+      static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 300)) / 100.0;
+  sim::System system(sys_cfg);
+
+  const std::vector<std::pair<u64, u64>> combos = {
+      {1, 64}, {1, 96}, {1, 128}, {2, 64}, {2, 96},
+      {2, 128}, {4, 64}, {4, 96}, {4, 128}};
+  const double paper[] = {1.98, 1.93, 1.86, 2.00, 1.93, 1.87, 1.93, 1.85,
+                          1.78};
+
+  // Baselines once per workload.
+  std::vector<sim::RunResult> base;
+  std::vector<u64> instr;
+  for (const auto& w : trace::WorkloadProfile::spec2017()) {
+    instr.push_back(sim::default_instructions_for(w, target_misses,
+                                     /*min_instructions=*/50'000'000));
+    base.push_back(system.run("DRAM-only", w, instr.back()));
+    std::cerr << "baseline " << w.name << " done\n";
+  }
+
+  TextTable table({"block-page (KB)", "normalized IPC", "paper", "metadata"});
+  for (std::size_t c = 0; c < combos.size(); ++c) {
+    bumblebee::BumblebeeConfig cfg;
+    cfg.block_bytes = combos[c].first * KiB;
+    cfg.page_bytes = combos[c].second * KiB;
+
+    std::vector<double> speedups;
+    std::cerr << "config " << combos[c].first << "-" << combos[c].second
+              << std::flush;
+    std::size_t i = 0;
+    for (const auto& w : trace::WorkloadProfile::spec2017()) {
+      const auto r = system.run_bumblebee(cfg, w, instr[i]);
+      speedups.push_back(r.ipc / base[i].ipc);
+      ++i;
+      std::cerr << '.' << std::flush;
+    }
+    std::cerr << '\n';
+
+    const auto geo = bumblebee::Geometry::make(cfg, 1 * GiB, 10 * GiB);
+    const auto budget = bumblebee::metadata_budget(cfg, geo);
+    table.add_row({std::to_string(combos[c].first) + "-" +
+                       std::to_string(combos[c].second),
+                   fmt_double(geomean(speedups), 2), fmt_double(paper[c], 2),
+                   fmt_bytes(static_cast<double>(budget.total()))});
+  }
+  std::cout << "\nFigure 6: normalized IPC for block-page configurations\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7 reproduction: performance-factor breakdown.
+//
+// Geomean speedup (normalized IPC vs the DRAM-only baseline) across all
+// Table II benchmarks for: C-Only, M-Only, 25%-C, 50%-C, No-Multi, Meta-H,
+// Alloc-D, Alloc-H, No-HMF and full Bumblebee.
+//
+// Paper reference values: 1.33, 1.37, 1.54, 1.68, 1.84, 1.75, 1.52, 1.54,
+// 1.86, 2.00 (same order as above, reading Meta-H = 1.75).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main() {
+  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 80'000);
+  sim::SystemConfig sys_cfg;
+  // Steady-state measurement: warm up several multiples of the measured
+  // window (BB_WARMUP_PCT, percent of the measured instructions).
+  sys_cfg.warmup_ratio =
+      static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 300)) / 100.0;
+  sim::System system(sys_cfg);
+
+  const auto& designs = baselines::figure7_designs();
+  const std::map<std::string, double> paper = {
+      {"C-Only", 1.33}, {"M-Only", 1.37},  {"25%-C", 1.54},
+      {"50%-C", 1.68},  {"No-Multi", 1.84}, {"Meta-H", 1.75},
+      {"Alloc-D", 1.52}, {"Alloc-H", 1.54}, {"No-HMF", 1.86},
+      {"Bumblebee", 2.00}};
+
+  std::map<std::string, std::vector<double>> speedups;
+  std::cerr << "fig7: simulating " << trace::WorkloadProfile::spec2017().size()
+            << " workloads x " << (designs.size() + 1) << " configs...\n";
+  for (const auto& w : trace::WorkloadProfile::spec2017()) {
+    const u64 instr = sim::default_instructions_for(w, target_misses,
+                                     /*min_instructions=*/50'000'000);
+    const auto base = system.run("DRAM-only", w, instr);
+    std::cerr << "  " << w.name << std::flush;
+    for (const auto& d : designs) {
+      const auto r = system.run(d, w, instr);
+      speedups[d].push_back(r.ipc / base.ipc);
+      std::cerr << '.' << std::flush;
+    }
+    std::cerr << '\n';
+  }
+
+  std::cout << "\nFigure 7: performance factors breakdown "
+               "(geomean speedup over DRAM-only, all benchmarks)\n";
+  TextTable table({"config", "geomean speedup", "paper"});
+  for (const auto& d : designs) {
+    table.add_row({d, fmt_double(geomean(speedups[d]), 2),
+                   fmt_double(paper.at(d), 2)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Section IV-B reproduction: over-fetching analysis.
+//
+// The percentage of data brought into HBM that is never used before
+// leaving it. Paper: 13.7% for Hybrid2 (256 B blocks / 2 KB pages) vs
+// 13.3% for Bumblebee (2 KB blocks / 64 KB pages) — Bumblebee's far larger
+// granularity does NOT over-fetch more, thanks to the adjustable cHBM
+// capacity, the hotness threshold T, and the eviction buffering.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main() {
+  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 80'000);
+  sim::SystemConfig sys_cfg;
+  // Steady-state measurement: warm up several multiples of the measured
+  // window (BB_WARMUP_PCT, percent of the measured instructions).
+  sys_cfg.warmup_ratio =
+      static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 300)) / 100.0;
+  sim::System system(sys_cfg);
+
+  TextTable table({"workload", "Bumblebee over-fetch", "Hybrid2 over-fetch"});
+  std::vector<double> bb_of, h2_of;
+  for (const auto& w : trace::WorkloadProfile::spec2017()) {
+    const u64 instr = sim::default_instructions_for(w, target_misses);
+    const auto rb = system.run("Bumblebee", w, instr);
+    const auto rh = system.run("Hybrid2", w, instr);
+    bb_of.push_back(rb.overfetch);
+    h2_of.push_back(rh.overfetch);
+    table.add_row({w.name, fmt_percent(rb.overfetch, 1),
+                   fmt_percent(rh.overfetch, 1)});
+    std::cerr << w.name << " done\n";
+  }
+  double bb_avg = 0, h2_avg = 0;
+  for (double v : bb_of) bb_avg += v;
+  for (double v : h2_of) h2_avg += v;
+  bb_avg /= static_cast<double>(bb_of.size());
+  h2_avg /= static_cast<double>(h2_of.size());
+  table.add_row({"average", fmt_percent(bb_avg, 1), fmt_percent(h2_avg, 1)});
+
+  std::cout << "\nSection IV-B: data brought into HBM but unused before "
+               "eviction (paper: Bumblebee 13.3%, Hybrid2 13.7%)\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Sensitivity ablations for the design choices the paper fixes by fiat:
+//   * hot-table off-chip queue depth (paper: 8, "for a balance between the
+//     performance and metadata size"),
+//   * the "most blocks cached" switch threshold for cHBM -> mHBM,
+//   * the zombie-page window (movement trigger 3).
+//
+// Three representative workloads spanning the Figure 1 taxonomy. Results
+// justify the defaults: depth 8 and a majority switch threshold are on the
+// flat part of the curve.
+#include <iostream>
+
+#include "bumblebee/config.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main() {
+  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 60'000);
+  sim::SystemConfig sys_cfg;
+  sys_cfg.warmup_ratio =
+      static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 200)) / 100.0;
+  sim::System system(sys_cfg);
+
+  const std::vector<std::string> workloads = {"mcf", "wrf", "roms"};
+  std::vector<sim::RunResult> base;
+  std::vector<u64> instr;
+  for (const auto& name : workloads) {
+    const auto& w = trace::WorkloadProfile::by_name(name);
+    instr.push_back(sim::default_instructions_for(w, target_misses));
+    base.push_back(system.run("DRAM-only", w, instr.back()));
+  }
+
+  auto sweep = [&](const std::string& title,
+                   const std::vector<std::pair<std::string,
+                                               bumblebee::BumblebeeConfig>>&
+                       configs) {
+    std::cout << "\n" << title << " (normalized IPC)\n";
+    std::vector<std::string> headers = {"setting"};
+    for (const auto& w : workloads) headers.push_back(w);
+    TextTable table(headers);
+    for (const auto& [label, cfg] : configs) {
+      std::vector<std::string> row = {label};
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto& w = trace::WorkloadProfile::by_name(workloads[i]);
+        const auto r = system.run_bumblebee(cfg, w, instr[i]);
+        row.push_back(fmt_double(r.ipc / base[i].ipc, 2));
+        std::cerr << '.' << std::flush;
+      }
+      table.add_row(row);
+    }
+    std::cerr << '\n';
+    table.print(std::cout);
+  };
+
+  {
+    std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>> cfgs;
+    for (u32 depth : {2u, 4u, 8u, 16u}) {
+      bumblebee::BumblebeeConfig c;
+      c.dram_queue_depth = depth;
+      cfgs.emplace_back("depth " + std::to_string(depth), c);
+    }
+    sweep("Hot-table off-chip queue depth (paper default: 8)", cfgs);
+  }
+  {
+    std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>> cfgs;
+    for (double f : {0.25, 0.5, 0.75, 0.9}) {
+      bumblebee::BumblebeeConfig c;
+      c.switch_fraction = f;
+      cfgs.emplace_back("switch > " + fmt_percent(f, 0), c);
+    }
+    sweep("cHBM->mHBM switch threshold (paper: most blocks cached)", cfgs);
+  }
+  {
+    std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>> cfgs;
+    for (u32 wdw : {256u, 1024u, 4096u}) {
+      bumblebee::BumblebeeConfig c;
+      c.zombie_window = wdw;
+      cfgs.emplace_back("window " + std::to_string(wdw), c);
+    }
+    sweep("Zombie-page window (set accesses)", cfgs);
+  }
+  return 0;
+}

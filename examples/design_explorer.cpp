@@ -1,0 +1,46 @@
+// Design-space exploration through the public API: sweep Bumblebee's block
+// and page size for one workload and report performance, metadata budget
+// and over-fetch — the Figure 6 / Section IV-B methodology on a single
+// benchmark, as a library user would run it.
+#include <iostream>
+#include <string>
+
+#include "bumblebee/config.h"
+#include "common/table.h"
+#include "sim/system.h"
+
+using namespace bb;
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "cactuBSSN";
+  const u64 instructions =
+      argc > 2 ? std::stoull(argv[2])
+               : sim::env_u64("BB_INSTRUCTIONS", 30'000'000);
+
+  const auto& w = trace::WorkloadProfile::by_name(workload_name);
+  sim::System system;
+  const auto base = system.run("DRAM-only", w, instructions);
+
+  std::cout << "Design space for " << w.name << " (normalized to DRAM-only "
+            << fmt_double(base.ipc, 2) << " IPC)\n\n";
+  TextTable table({"block", "page", "normalized IPC", "HBM serve",
+                   "over-fetch", "metadata"});
+  for (const u64 block_kb : {1, 2, 4}) {
+    for (const u64 page_kb : {64, 96, 128}) {
+      bumblebee::BumblebeeConfig cfg;
+      cfg.block_bytes = block_kb * KiB;
+      cfg.page_bytes = page_kb * KiB;
+      const auto r = system.run_bumblebee(cfg, w, instructions);
+      const auto geo = bumblebee::Geometry::make(cfg, 1 * GiB, 10 * GiB);
+      const auto budget = bumblebee::metadata_budget(cfg, geo);
+      table.add_row({std::to_string(block_kb) + " KiB",
+                     std::to_string(page_kb) + " KiB",
+                     fmt_double(r.ipc / base.ipc, 2),
+                     fmt_percent(r.hbm_serve_rate),
+                     fmt_percent(r.overfetch),
+                     fmt_bytes(static_cast<double>(budget.total()))});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "baselines/alloy_cache.h"
+
+namespace bb::baselines {
+
+AlloyCacheController::AlloyCacheController(mem::DramDevice& hbm,
+                                           mem::DramDevice& dram,
+                                           hmm::PagingConfig paging,
+                                           const AlloyConfig& cfg)
+    : HybridMemoryController("AC", hbm, dram,
+                             [&] {
+                               paging.visible_bytes = dram.capacity();
+                               return paging;
+                             }()),
+      cfg_(cfg),
+      lines_(hbm.capacity() / cfg.tad_bytes) {
+  tag_.assign(static_cast<std::size_t>(lines_), 0);
+  valid_.resize(static_cast<std::size_t>(lines_));
+  dirty_.resize(static_cast<std::size_t>(lines_));
+}
+
+hmm::HmmResult AlloyCacheController::service(Addr addr, AccessType type,
+                                             Tick now) {
+  hmm::HmmResult res;
+  const Addr phys = addr % dram().capacity();
+  const u64 line = phys / cfg_.line_bytes;
+  const u64 slot = line % lines_;
+  const u8 tag = static_cast<u8>(line / lines_);
+  const Addr tad_addr = slot * cfg_.tad_bytes;
+
+  // One TAD stream returns tag + data together.
+  const auto probe = hbm().access(tad_addr, cfg_.tad_bytes, AccessType::kRead,
+                                  now, mem::TrafficClass::kDemand);
+  res.metadata_latency = probe.latency();  // the tag half of the TAD
+
+  const std::size_t s = static_cast<std::size_t>(slot);
+  if (valid_.test(s) && tag_[s] == tag) {
+    // Hit: the probe already delivered the data; writes update the TAD.
+    if (type == AccessType::kWrite) {
+      hbm().access(tad_addr, cfg_.tad_bytes, AccessType::kWrite,
+                   probe.complete, mem::TrafficClass::kDemand);
+      dirty_.set(s);
+    }
+    res.complete = probe.complete;
+    res.served_by_hbm = true;
+    res.phys_addr = tad_addr;
+    return res;
+  }
+
+  // Miss: writeback the victim if dirty, then serve from DRAM and fill.
+  if (valid_.test(s) && dirty_.test(s)) {
+    const Addr victim =
+        (static_cast<u64>(tag_[s]) * lines_ + slot) * cfg_.line_bytes;
+    move_data(hbm(), tad_addr, dram(), victim, cfg_.line_bytes,
+              probe.complete, mem::TrafficClass::kWriteback);
+    ++mutable_stats().evictions;
+  }
+  const auto r = dram().access(phys, cfg_.line_bytes, type, probe.complete,
+                               mem::TrafficClass::kDemand);
+  // Fill the TAD (asynchronous).
+  hbm().access(tad_addr, cfg_.tad_bytes, AccessType::kWrite, r.complete,
+               mem::TrafficClass::kFill);
+  tag_[s] = tag;
+  valid_.set(s);
+  dirty_.set(s, type == AccessType::kWrite);
+  ++mutable_stats().blocks_fetched;
+  ++mutable_stats().fetched_blocks_used;  // demand fill: always used
+
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = phys;
+  return res;
+}
+
+}  // namespace bb::baselines

@@ -1,0 +1,114 @@
+#include "baselines/banshee.h"
+
+namespace bb::baselines {
+
+BansheeController::BansheeController(mem::DramDevice& hbm,
+                                     mem::DramDevice& dram,
+                                     hmm::PagingConfig paging,
+                                     const BansheeConfig& cfg)
+    : HybridMemoryController("Banshee", hbm, dram,
+                             [&] {
+                               paging.visible_bytes = dram.capacity();
+                               return paging;
+                             }()),
+      cfg_(cfg),
+      sets_(static_cast<u32>(hbm.capacity() / cfg.page_bytes / cfg.ways)) {
+  ways_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
+  const u32 blocks = static_cast<u32>(cfg_.page_bytes / 64);
+  for (auto& w : ways_) w.used.resize(blocks);
+}
+
+u64 BansheeController::metadata_sram_bytes() const {
+  // Per cached page: tag (4 B) + frequency counter (2 B) + flags, plus the
+  // sampled candidate table.
+  const u64 pages = static_cast<u64>(sets_) * cfg_.ways;
+  return pages * 7 + 64 * KiB;
+}
+
+hmm::HmmResult BansheeController::service(Addr addr, AccessType type,
+                                          Tick now) {
+  hmm::HmmResult res;
+  const Addr phys = addr % dram().capacity();
+  const u64 page = phys / cfg_.page_bytes;
+  const u32 set = static_cast<u32>(page % sets_);
+  const u64 in_page = phys % cfg_.page_bytes;
+  const u32 block = static_cast<u32>(in_page / 64);
+
+  // Mapping known from TLB/PTE: SRAM-cost lookup only.
+  res.metadata_latency = cfg_.sram_latency;
+  Tick t = now + cfg_.sram_latency;
+
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = way_at(set, w);
+    if (way.valid && way.page == page) {
+      const Addr pa = frame_addr(set, w) + in_page;
+      const auto r = hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+      res.complete = r.complete;
+      res.served_by_hbm = true;
+      res.phys_addr = pa;
+      if (type == AccessType::kWrite) way.dirty = true;
+      if (way.freq < 0xffff) ++way.freq;
+      if (!way.used.test(block)) {
+        way.used.set(block);
+        ++mutable_stats().fetched_blocks_used;
+      }
+      return res;
+    }
+  }
+
+  // Miss: serve off-chip.
+  const auto r = dram().access(phys, 64, type, t, mem::TrafficClass::kDemand);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = phys;
+
+  // Frequency-based replacement with sampling.
+  if (++miss_tick_ % cfg_.sample_rate != 0) return res;
+  u16& cand = candidate_freq_[page];
+  if (cand < 0xffff) ++cand;
+
+  u32 victim = cfg_.ways;
+  u16 victim_freq = 0xffff;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = way_at(set, w);
+    if (!way.valid) {
+      victim = w;
+      victim_freq = 0;
+      break;
+    }
+    if (way.freq < victim_freq) {
+      victim_freq = way.freq;
+      victim = w;
+    }
+  }
+  const bool replace =
+      victim < cfg_.ways &&
+      (!way_at(set, victim).valid ||
+       cand >= victim_freq + cfg_.replace_threshold);
+  if (!replace) return res;
+
+  Way& way = way_at(set, victim);
+  if (way.valid && way.dirty) {
+    // Lazy page-granularity writeback.
+    move_data(hbm(), frame_addr(set, victim), dram(),
+              (way.page * cfg_.page_bytes) % dram().capacity(),
+              cfg_.page_bytes, r.complete, mem::TrafficClass::kWriteback);
+  }
+  if (way.valid) ++mutable_stats().evictions;
+
+  move_data(dram(), page * cfg_.page_bytes, hbm(), frame_addr(set, victim),
+            cfg_.page_bytes, r.complete, mem::TrafficClass::kFill);
+  const u32 blocks = static_cast<u32>(cfg_.page_bytes / 64);
+  mutable_stats().blocks_fetched += blocks;
+  way.valid = true;
+  way.page = page;
+  way.freq = cand;
+  way.dirty = (type == AccessType::kWrite);
+  way.used.clear_all();
+  way.used.set(block);
+  ++mutable_stats().fetched_blocks_used;
+  candidate_freq_.erase(page);
+  return res;
+}
+
+}  // namespace bb::baselines

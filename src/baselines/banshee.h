@@ -1,0 +1,65 @@
+// Banshee (Yu et al., MICRO 2017).
+//
+// A page-granularity (4 KB), 4-way set-associative DRAM cache that tracks
+// cache contents through the page tables / TLBs, so lookups cost only an
+// SRAM-latency check (no in-HBM tag probe) — its bandwidth-efficiency
+// claim. Replacement is frequency-based with sampling: a miss only
+// replaces when the candidate's access counter exceeds the victim's by a
+// threshold, which suppresses cache thrashing, and misses are sampled so
+// counter maintenance itself costs little bandwidth. Fills move whole
+// pages; writebacks are lazy (page-granularity dirty).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "hmm/controller.h"
+
+namespace bb::baselines {
+
+struct BansheeConfig {
+  u64 page_bytes = 4 * KiB;
+  u32 ways = 4;
+  u32 replace_threshold = 2;  ///< candidate must beat victim by this margin
+  u32 sample_rate = 8;        ///< 1-in-N misses update frequency counters
+  Tick sram_latency = ns_to_ticks(2.0);
+};
+
+class BansheeController final : public hmm::HybridMemoryController {
+ public:
+  BansheeController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                    hmm::PagingConfig paging = {},
+                    const BansheeConfig& cfg = {});
+
+  /// Full mapping metadata (page-table extensions + frequency counters) if
+  /// it all had to live in SRAM.
+  u64 metadata_sram_bytes() const override;
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  struct Way {
+    bool valid = false;
+    u64 page = 0;
+    u16 freq = 0;
+    bool dirty = false;
+    BitVector used;  ///< demanded blocks, for over-fetch accounting
+  };
+
+  Way& way_at(u32 set, u32 w) {
+    return ways_[static_cast<std::size_t>(set) * cfg_.ways + w];
+  }
+  Addr frame_addr(u32 set, u32 w) const {
+    return (static_cast<u64>(set) * cfg_.ways + w) * cfg_.page_bytes;
+  }
+
+  BansheeConfig cfg_;
+  u32 sets_;
+  std::vector<Way> ways_;
+  std::unordered_map<u64, u16> candidate_freq_;  ///< sampled miss counters
+  u64 miss_tick_ = 0;                            ///< sampling wheel
+};
+
+}  // namespace bb::baselines

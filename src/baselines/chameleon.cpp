@@ -1,0 +1,114 @@
+#include "baselines/chameleon.h"
+
+#include <cassert>
+
+namespace bb::baselines {
+
+ChameleonController::ChameleonController(mem::DramDevice& hbm,
+                                         mem::DramDevice& dram,
+                                         hmm::PagingConfig paging,
+                                         const ChameleonConfig& cfg)
+    : HybridMemoryController(
+          "Chameleon", hbm, dram,
+          [&] {
+            paging.visible_bytes = dram.capacity() + hbm.capacity();
+            return paging;
+          }()),
+      cfg_(cfg),
+      sets_(static_cast<u32>(hbm.capacity() / cfg.segment_bytes)),
+      m_(static_cast<u32>(dram.capacity() / cfg.segment_bytes / sets_)) {
+  assert(m_ + 1 <= 0xff && "u8 permutation entries");
+  entries_.resize(sets_);
+  for (auto& e : entries_) {
+    e.counter.assign(m_ + 1, 0);
+    e.seg_at_frame.resize(m_ + 1);
+    for (u32 f = 0; f <= m_; ++f) e.seg_at_frame[f] = static_cast<u8>(f);
+  }
+
+  hmm::MetadataConfig mc;
+  mc.placement = hmm::MetadataPlacement::kSramCachedHbm;
+  mc.cache_bytes = cfg_.metadata_cache_bytes;
+  mc.entry_bytes = 8;
+  meta_ = std::make_unique<hmm::MetadataModel>(mc, &hbm);
+}
+
+u64 ChameleonController::metadata_sram_bytes() const {
+  // Per set: the frame permutation plus one counter per segment.
+  return static_cast<u64>(sets_) * 2ULL * (m_ + 1);
+}
+
+hmm::HmmResult ChameleonController::service(Addr addr, AccessType type,
+                                            Tick now) {
+  hmm::HmmResult res;
+  const u64 visible = static_cast<u64>(sets_) * (m_ + 1) * cfg_.segment_bytes;
+  const Addr a = addr % visible;
+  const u64 seg_global = a / cfg_.segment_bytes;
+  // Consecutive grouping: each remapping set covers m_+1 adjacent segments
+  // sharing ONE near slot — the restriction the paper blames for uneven
+  // HBM utilization (dense hot regions span a whole set but only one of
+  // its segments can be near) and frequent sector migration.
+  const u32 set = static_cast<u32>(seg_global / (m_ + 1));
+  const u32 seg = static_cast<u32>(seg_global % (m_ + 1));  // in-set index
+  const u64 off = a % cfg_.segment_bytes;
+  SetEntry& e = entries_[set];
+
+  // Remap lookup through the SRAM metadata cache (misses go to HBM); the
+  // table is per segment, so large footprints overflow the 512 KB cache.
+  res.metadata_latency = meta_->lookup(seg_global, now);
+  Tick t = now + res.metadata_latency;
+
+  // The access counter is metadata too: it is updated on every access and
+  // written through the SRAM metadata cache (misses cost HBM traffic).
+  if (e.counter[seg] < 0xff) ++e.counter[seg];
+  meta_->update(seg_global, now);
+
+  // Locate the segment's frame in the set's permutation. Frame m_ is the
+  // set's single HBM slot; frames [0, m_) are off-chip.
+  u32 frame = m_ + 1;
+  for (u32 f = 0; f <= m_; ++f) {
+    if (e.seg_at_frame[f] == seg) {
+      frame = f;
+      break;
+    }
+  }
+  assert(frame <= m_);
+
+  const Addr hbm_slot = static_cast<u64>(set) * cfg_.segment_bytes;
+  auto dram_frame_addr = [&](u32 f) {
+    return (static_cast<u64>(set) * m_ + f) * cfg_.segment_bytes;
+  };
+
+  if (frame == m_) {
+    const auto r = hbm().access(hbm_slot + off, 64, type, t,
+                                mem::TrafficClass::kDemand);
+    res.complete = r.complete;
+    res.served_by_hbm = true;
+    res.phys_addr = hbm_slot + off;
+    return res;
+  }
+
+  const Addr pa = dram_frame_addr(frame) + off;
+  const auto r = dram().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = pa;
+
+  // Swap decision: the challenger must beat the HBM occupant's counter by
+  // the threshold; a full segment swap then moves data both ways.
+  const u32 occupant = e.seg_at_frame[m_];
+  if (e.counter[seg] >= static_cast<u32>(e.counter[occupant]) +
+                            cfg_.swap_threshold) {
+    swap_data(hbm(), hbm_slot, dram(), dram_frame_addr(frame),
+              cfg_.segment_bytes, r.complete, mem::TrafficClass::kMigration);
+    e.seg_at_frame[m_] = static_cast<u8>(seg);
+    e.seg_at_frame[frame] = static_cast<u8>(occupant);
+    e.counter[occupant] /= 2;  // age the displaced segment
+    ++mutable_stats().swaps;
+    mutable_stats().blocks_fetched += cfg_.segment_bytes / 64;
+    ++mutable_stats().fetched_blocks_used;
+    meta_->update(seg_global, r.complete);
+  }
+  return res;
+}
+
+}  // namespace bb::baselines

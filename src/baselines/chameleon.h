@@ -1,0 +1,56 @@
+// Chameleon (Kotra et al., MICRO 2018).
+//
+// A POM (part-of-memory) design: all HBM is OS-visible. Memory is divided
+// into remapping sets ("segment groups") with exactly ONE HBM segment per
+// set — the restriction the paper criticizes for uneven HBM utilization
+// and frequent segment swaps. A hot off-chip segment whose access counter
+// beats the current HBM occupant's swaps with it (full-segment traffic in
+// both directions). The remapping table is too large for SRAM, so lookups
+// go through an SRAM metadata cache backed by HBM (real MAL).
+#pragma once
+
+#include <vector>
+
+#include "hmm/controller.h"
+#include "hmm/metadata.h"
+
+namespace bb::baselines {
+
+struct ChameleonConfig {
+  u64 segment_bytes = 2 * KiB;
+  u32 swap_threshold = 4;  ///< challenger counter margin to trigger a swap
+  u64 metadata_cache_bytes = 512 * KiB;
+};
+
+class ChameleonController final : public hmm::HybridMemoryController {
+ public:
+  ChameleonController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                      hmm::PagingConfig paging = {},
+                      const ChameleonConfig& cfg = {});
+
+  /// The full remapping table + counters, if SRAM-resident.
+  u64 metadata_sram_bytes() const override;
+
+  u32 set_count() const { return sets_; }
+  u32 segments_per_set() const { return m_ + 1; }
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  struct SetEntry {
+    /// Permutation of the set's m_+1 segments over its frames; frame m_ is
+    /// the single HBM slot, frames [0, m_) are off-chip. Initially the
+    /// identity (segment m_ is HBM-native).
+    std::vector<u8> seg_at_frame;
+    std::vector<u8> counter;  ///< per-segment saturating access counters
+  };
+
+  ChameleonConfig cfg_;
+  u32 sets_;  ///< one HBM segment per set
+  u32 m_;     ///< off-chip segments per set
+  std::vector<SetEntry> entries_;
+  std::unique_ptr<hmm::MetadataModel> meta_;
+};
+
+}  // namespace bb::baselines

@@ -1,0 +1,81 @@
+#include "baselines/factory.h"
+
+#include <stdexcept>
+
+#include "baselines/alloy_cache.h"
+#include "baselines/banshee.h"
+#include "baselines/chameleon.h"
+#include "baselines/hybrid2.h"
+#include "baselines/mempod.h"
+#include "baselines/pom.h"
+#include "baselines/silcfm.h"
+#include "baselines/unison_cache.h"
+#include "bumblebee/controller.h"
+
+namespace bb::baselines {
+
+std::unique_ptr<hmm::HybridMemoryController> make_design(
+    const std::string& name, mem::DramDevice& hbm, mem::DramDevice& dram,
+    const hmm::PagingConfig& paging) {
+  using bumblebee::BumblebeeConfig;
+  using bumblebee::BumblebeeController;
+
+  auto bumble = [&](const BumblebeeConfig& cfg) {
+    return std::make_unique<BumblebeeController>(cfg, hbm, dram, paging);
+  };
+
+  if (name == "DRAM-only") {
+    return std::make_unique<hmm::DramOnlyController>(hbm, dram, paging);
+  }
+  if (name == "Banshee") {
+    return std::make_unique<BansheeController>(hbm, dram, paging);
+  }
+  if (name == "AC") {
+    return std::make_unique<AlloyCacheController>(hbm, dram, paging);
+  }
+  if (name == "UC") {
+    return std::make_unique<UnisonCacheController>(hbm, dram, paging);
+  }
+  if (name == "Chameleon") {
+    return std::make_unique<ChameleonController>(hbm, dram, paging);
+  }
+  if (name == "Hybrid2") {
+    return std::make_unique<Hybrid2Controller>(hbm, dram, paging);
+  }
+  if (name == "PoM") {
+    return std::make_unique<PomController>(hbm, dram, paging);
+  }
+  if (name == "MemPod") {
+    return std::make_unique<MemPodController>(hbm, dram, paging);
+  }
+  if (name == "SILC-FM") {
+    return std::make_unique<SilcFmController>(hbm, dram, paging);
+  }
+  if (name == "Bumblebee") return bumble(BumblebeeConfig::baseline());
+  if (name == "C-Only") return bumble(BumblebeeConfig::c_only());
+  if (name == "M-Only") return bumble(BumblebeeConfig::m_only());
+  if (name == "25%-C") return bumble(BumblebeeConfig::fixed_chbm(0.25));
+  if (name == "50%-C") return bumble(BumblebeeConfig::fixed_chbm(0.5));
+  if (name == "No-Multi") return bumble(BumblebeeConfig::no_multi());
+  if (name == "Meta-H") return bumble(BumblebeeConfig::meta_h());
+  if (name == "Alloc-D") return bumble(BumblebeeConfig::alloc_d());
+  if (name == "Alloc-H") return bumble(BumblebeeConfig::alloc_h());
+  if (name == "No-HMF") return bumble(BumblebeeConfig::no_hmf());
+
+  throw std::invalid_argument("unknown design: " + name);
+}
+
+const std::vector<std::string>& figure8_designs() {
+  static const std::vector<std::string> kDesigns = {
+      "Banshee", "AC", "UC", "Chameleon", "Hybrid2", "Bumblebee"};
+  return kDesigns;
+}
+
+const std::vector<std::string>& figure7_designs() {
+  static const std::vector<std::string> kDesigns = {
+      "C-Only", "M-Only",  "25%-C",   "50%-C",   "No-Multi",
+      "Meta-H", "Alloc-D", "Alloc-H", "No-HMF",  "Bumblebee"};
+  return kDesigns;
+}
+
+}  // namespace bb::baselines

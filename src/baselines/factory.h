@@ -1,0 +1,34 @@
+// Factory for every evaluated memory-system design.
+//
+// Names match the paper's figures:
+//   Figure 8: "Banshee", "AC", "UC", "Chameleon", "Hybrid2", "Bumblebee"
+//   Figure 7: "C-Only", "M-Only", "25%-C", "50%-C", "No-Multi", "Meta-H",
+//             "Alloc-D", "Alloc-H", "No-HMF"
+//   Normalization baseline: "DRAM-only"
+//   Extensions beyond the paper's comparison set: "PoM" (Sim et al.,
+//   MICRO 2014 — reference [6]), "SILC-FM" (Ryoo et al., HPCA 2017 —
+//   reference [7]) and "MemPod" (Prodromou et al., HPCA 2017 —
+//   reference [8]).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hmm/controller.h"
+
+namespace bb::baselines {
+
+/// Creates the named design over the given devices. Throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<hmm::HybridMemoryController> make_design(
+    const std::string& name, mem::DramDevice& hbm, mem::DramDevice& dram,
+    const hmm::PagingConfig& paging = {});
+
+/// The Figure 8 competitor set, in plot order.
+const std::vector<std::string>& figure8_designs();
+
+/// The Figure 7 factor-breakdown set, in plot order.
+const std::vector<std::string>& figure7_designs();
+
+}  // namespace bb::baselines

@@ -1,0 +1,87 @@
+// Hybrid2 (Vasilakis et al., HPCA 2020).
+//
+// The state-of-the-art hybrid-mode design the paper compares against.
+// A small, statically fixed slice of HBM (64 MB) is a 256 B-block, 8-way
+// DRAM cache (cHBM); the remaining HBM is OS-visible POM (mHBM) managed in
+// 2 KB pages with set-associative remapping and swap-based migration. The
+// two spaces are SEPARATE: promoting a page into mHBM swaps out a victim
+// page (full traffic both ways) and first flushes the page's cHBM blocks —
+// the mode-switch overhead Bumblebee's multiplexed space eliminates. Its
+// metadata (remap tables, counters, cache tags) far exceeds SRAM, so
+// lookups run through a 512 KB SRAM metadata cache backed by HBM.
+#pragma once
+
+#include <vector>
+
+#include "hmm/controller.h"
+#include "hmm/metadata.h"
+
+namespace bb::baselines {
+
+struct Hybrid2Config {
+  u64 cache_bytes = 64 * MiB;   ///< fixed cHBM slice
+  u64 block_bytes = 256;        ///< cHBM block
+  u32 cache_ways = 8;
+  u64 page_bytes = 2 * KiB;     ///< mHBM page
+  u32 hbm_ways = 8;             ///< mHBM pages per remapping set
+  u32 promote_threshold = 4;    ///< counter margin vs coldest mHBM page
+  u64 metadata_cache_bytes = 512 * KiB;
+};
+
+class Hybrid2Controller final : public hmm::HybridMemoryController {
+ public:
+  Hybrid2Controller(mem::DramDevice& hbm, mem::DramDevice& dram,
+                    hmm::PagingConfig paging = {},
+                    const Hybrid2Config& cfg = {});
+
+  /// Total metadata the design would need in SRAM (it does not fit; the
+  /// real design keeps a 512 KB SRAM cache in front of it).
+  u64 metadata_sram_bytes() const override;
+
+  u32 remap_sets() const { return sets_; }
+  u32 dram_pages_per_set() const { return m_; }
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  struct RemapSet {
+    std::vector<u8> seg_at_frame;  ///< permutation over m_+n_ frames
+    std::vector<u8> counter;       ///< per-segment access counters
+    std::vector<u8> used_mask;     ///< per HBM frame: accessed 256 B blocks
+    std::vector<bool> swapped;     ///< frame content was fetched (not native)
+  };
+  struct CacheLine {
+    u32 tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    u64 lru = 0;
+  };
+
+  Addr mhbm_frame_addr(u32 set, u32 way) const {
+    return cfg_.cache_bytes +
+           (static_cast<u64>(way) * sets_ + set) * cfg_.page_bytes;
+  }
+  Addr dram_frame_addr(u32 set, u32 frame) const {
+    return (static_cast<u64>(frame) * sets_ + set) * cfg_.page_bytes;
+  }
+
+  /// Serves a request hitting off-chip frame `fa` through the block cache.
+  hmm::HmmResult cache_path(Addr fa, u64 off, AccessType type, Tick t);
+
+  /// Flushes (writes back + invalidates) all cache lines covering the 2 KB
+  /// DRAM frame at `fa` — required before the frame's content is swapped.
+  void flush_frame_blocks(Addr fa, Tick now);
+
+  Hybrid2Config cfg_;
+  u32 sets_;  ///< mHBM remapping sets
+  u32 m_;     ///< off-chip pages per set
+  u32 n_;     ///< mHBM pages per set
+  std::vector<RemapSet> remap_;
+  u32 cache_sets_;
+  std::vector<CacheLine> cache_;
+  u64 lru_clock_ = 0;
+  std::unique_ptr<hmm::MetadataModel> meta_;
+};
+
+}  // namespace bb::baselines

@@ -1,0 +1,172 @@
+#include "baselines/mempod.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::baselines {
+
+MemPodController::MemPodController(mem::DramDevice& hbm,
+                                   mem::DramDevice& dram,
+                                   hmm::PagingConfig paging,
+                                   const MemPodConfig& cfg)
+    : HybridMemoryController(
+          "MemPod", hbm, dram,
+          [&] {
+            paging.visible_bytes = dram.capacity() + hbm.capacity();
+            return paging;
+          }()),
+      cfg_(cfg),
+      hbm_pages_per_pod_(hbm.capacity() / cfg.page_bytes / cfg.pods),
+      dram_pages_per_pod_(dram.capacity() / cfg.page_bytes / cfg.pods) {
+  assert(hbm_pages_per_pod_ > 0 && dram_pages_per_pod_ > 0);
+  pods_.resize(cfg_.pods);
+  const u64 pages = hbm_pages_per_pod_ + dram_pages_per_pod_;
+  for (auto& pod : pods_) {
+    pod.frame_of.resize(pages);
+    pod.page_at.resize(pages);
+    for (u64 i = 0; i < pages; ++i) {
+      pod.frame_of[i] = static_cast<u32>(i);
+      pod.page_at[i] = static_cast<u32>(i);
+    }
+    pod.mea.resize(cfg_.mea_counters);
+    pod.hbm_access.assign(hbm_pages_per_pod_, 0);
+  }
+}
+
+u64 MemPodController::metadata_sram_bytes() const {
+  // Full remap table (4 B per page both directions) + MEA counters.
+  const u64 pages = hbm_pages_per_pod_ + dram_pages_per_pod_;
+  return static_cast<u64>(cfg_.pods) *
+         (pages * 8 + cfg_.mea_counters * 12);
+}
+
+void MemPodController::mea_touch(Pod& pod, u64 page) {
+  // Majority Element Algorithm: increment the page's counter if tracked;
+  // otherwise claim a zero-count slot; otherwise decrement everyone.
+  for (auto& e : pod.mea) {
+    if (e.count > 0 && e.page == page) {
+      ++e.count;
+      return;
+    }
+  }
+  for (auto& e : pod.mea) {
+    if (e.count == 0) {
+      e.page = page;
+      e.count = 1;
+      return;
+    }
+  }
+  for (auto& e : pod.mea) {
+    --e.count;
+  }
+}
+
+void MemPodController::run_interval(Pod& pod, u32 pod_idx, Tick now) {
+  // Sort MEA candidates hottest-first (only those still in far memory).
+  std::vector<MeaEntry> cands;
+  for (const auto& e : pod.mea) {
+    if (e.count > 0 && pod.frame_of[e.page] < dram_pages_per_pod_) {
+      cands.push_back(e);
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const MeaEntry& a, const MeaEntry& b) {
+              return a.count > b.count;
+            });
+
+  // Coldest HBM frames by interval access count (HBM frames are the
+  // frames at and above the DRAM slice).
+  std::vector<u32> frames(hbm_pages_per_pod_);
+  for (u32 f = 0; f < hbm_pages_per_pod_; ++f) {
+    frames[f] = static_cast<u32>(dram_pages_per_pod_) + f;
+  }
+  std::sort(frames.begin(), frames.end(), [&](u32 a, u32 b) {
+    return pod.hbm_access[a - dram_pages_per_pod_] <
+           pod.hbm_access[b - dram_pages_per_pod_];
+  });
+
+  const u64 pod_hbm_base =
+      static_cast<u64>(pod_idx) * hbm_pages_per_pod_ * cfg_.page_bytes;
+  const u64 pod_dram_base =
+      static_cast<u64>(pod_idx) * dram_pages_per_pod_ * cfg_.page_bytes;
+
+  const std::size_t n = std::min<std::size_t>(cands.size(), 8);
+  for (std::size_t i = 0; i < n; ++i) {
+    const u32 hot_page = static_cast<u32>(cands[i].page);
+    const u32 cold_frame = frames[i];
+    // Only displace strictly colder residents.
+    if (pod.hbm_access[cold_frame - dram_pages_per_pod_] >=
+        cands[i].count) {
+      break;
+    }
+    const u32 hot_frame = pod.frame_of[hot_page];
+    const u32 cold_page = pod.page_at[cold_frame];
+
+    swap_data(hbm(),
+              pod_hbm_base + static_cast<u64>(cold_frame -
+                                              dram_pages_per_pod_) *
+                                 cfg_.page_bytes,
+              dram(),
+              pod_dram_base + static_cast<u64>(hot_frame) * cfg_.page_bytes,
+              cfg_.page_bytes, now, mem::TrafficClass::kMigration);
+
+    pod.frame_of[hot_page] = cold_frame;
+    pod.frame_of[cold_page] = hot_frame;
+    pod.page_at[cold_frame] = hot_page;
+    pod.page_at[hot_frame] = cold_page;
+    ++interval_migrations_;
+    ++mutable_stats().swaps;
+    mutable_stats().blocks_fetched += cfg_.page_bytes / 64;
+    ++mutable_stats().fetched_blocks_used;
+  }
+
+  for (auto& e : pod.mea) e = MeaEntry{};
+  for (auto& c : pod.hbm_access) c = 0;
+  pod.next_interval = now + cfg_.interval;
+}
+
+hmm::HmmResult MemPodController::service(Addr addr, AccessType type,
+                                         Tick now) {
+  hmm::HmmResult res;
+  const u64 pages_per_pod = hbm_pages_per_pod_ + dram_pages_per_pod_;
+  const u64 visible =
+      static_cast<u64>(cfg_.pods) * pages_per_pod * cfg_.page_bytes;
+  const Addr a = addr % visible;
+  const u64 gp = a / cfg_.page_bytes;
+  const u32 pod_idx = static_cast<u32>(gp % cfg_.pods);
+  const u64 page = gp / cfg_.pods;  // pod-local logical page
+  const u64 off = a % cfg_.page_bytes;
+  Pod& pod = pods_[pod_idx];
+
+  res.metadata_latency = cfg_.sram_latency;  // remap tables are SRAM here
+  Tick t = now + cfg_.sram_latency;
+
+  if (now >= pod.next_interval) run_interval(pod, pod_idx, now);
+
+  const u32 frame = pod.frame_of[page];
+  if (frame >= dram_pages_per_pod_) {
+    ++pod.hbm_access[frame - dram_pages_per_pod_];
+    const Addr pa = static_cast<u64>(pod_idx) * hbm_pages_per_pod_ *
+                        cfg_.page_bytes +
+                    static_cast<u64>(frame - dram_pages_per_pod_) *
+                        cfg_.page_bytes +
+                    off;
+    const auto r = hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+    res.complete = r.complete;
+    res.served_by_hbm = true;
+    res.phys_addr = pa;
+    return res;
+  }
+
+  mea_touch(pod, page);
+  const Addr pa = static_cast<u64>(pod_idx) * dram_pages_per_pod_ *
+                      cfg_.page_bytes +
+                  static_cast<u64>(frame) * cfg_.page_bytes + off;
+  const auto r = dram().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = pa;
+  return res;
+}
+
+}  // namespace bb::baselines

@@ -1,0 +1,65 @@
+// MemPod — "A Clustered Architecture for Efficient and Scalable Migration
+// in Flat Address Space Multi-Level Memories" (Prodromou et al., HPCA
+// 2017). Reference [8] of the paper.
+//
+// Memory is partitioned into independent "Pods", each pairing a slice of
+// HBM with a slice of off-chip DRAM. Migration is interval-based: during
+// an interval, a Majority Element Algorithm (MEA) tracker per pod finds
+// the hottest off-chip 2 KB pages; at the interval boundary the pod swaps
+// them with its coldest HBM-resident pages. Intervals decouple migration
+// bandwidth from the access stream — MemPod's scalability claim.
+#pragma once
+
+#include <vector>
+
+#include "hmm/controller.h"
+
+namespace bb::baselines {
+
+struct MemPodConfig {
+  u64 page_bytes = 2 * KiB;
+  u32 pods = 16;
+  u32 mea_counters = 64;          ///< MEA tracker entries per pod
+  Tick interval = ns_to_ticks(50'000.0);  ///< migration interval (50 us)
+  Tick sram_latency = ns_to_ticks(2.0);
+};
+
+class MemPodController final : public hmm::HybridMemoryController {
+ public:
+  MemPodController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                   hmm::PagingConfig paging = {},
+                   const MemPodConfig& cfg = {});
+
+  u64 metadata_sram_bytes() const override;
+
+  u32 pod_count() const { return cfg_.pods; }
+  u64 interval_migrations() const { return interval_migrations_; }
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  struct MeaEntry {
+    u64 page = 0;  ///< pod-local logical page index
+    u32 count = 0;
+  };
+  struct Pod {
+    /// Remap: pod-local logical page -> pod-local frame (HBM frames first).
+    std::vector<u32> frame_of;
+    std::vector<u32> page_at;  ///< inverse mapping
+    std::vector<MeaEntry> mea;
+    std::vector<u32> hbm_access;  ///< per-HBM-frame interval access count
+    Tick next_interval = 0;
+  };
+
+  void mea_touch(Pod& pod, u64 page);
+  void run_interval(Pod& pod, u32 pod_idx, Tick now);
+
+  MemPodConfig cfg_;
+  u64 hbm_pages_per_pod_;
+  u64 dram_pages_per_pod_;
+  std::vector<Pod> pods_;
+  u64 interval_migrations_ = 0;
+};
+
+}  // namespace bb::baselines

@@ -1,0 +1,54 @@
+// PoM — "Transparent Hardware Management of Stacked DRAM as Part of
+// Memory" (Sim et al., MICRO 2014). Reference [6] of the paper and the
+// design Chameleon builds on.
+//
+// All HBM is OS-visible. Memory is managed in 2 KB "sectors" grouped into
+// congruence sets; a competing-counter pair per set decides whether the
+// currently-near sector should be swapped with a challenger: the counter
+// increments on challenger accesses and decrements on occupant accesses,
+// swapping when it crosses a threshold — a hysteresis that PoM introduced
+// to economize swap bandwidth. The remapping table lives in memory with an
+// SRAM cache in front (PoM's "SRT cache").
+#pragma once
+
+#include <vector>
+
+#include "hmm/controller.h"
+#include "hmm/metadata.h"
+
+namespace bb::baselines {
+
+struct PomConfig {
+  u64 sector_bytes = 2 * KiB;
+  u32 swap_threshold = 6;  ///< competing-counter crossing point
+  u64 metadata_cache_bytes = 512 * KiB;
+};
+
+class PomController final : public hmm::HybridMemoryController {
+ public:
+  PomController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                hmm::PagingConfig paging = {}, const PomConfig& cfg = {});
+
+  u64 metadata_sram_bytes() const override;
+
+  u32 set_count() const { return sets_; }
+  u32 sectors_per_set() const { return m_ + 1; }
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  struct SetEntry {
+    std::vector<u8> sector_at_frame;  ///< permutation over m_+1 frames
+    i64 counter = 0;   ///< competing counter (challenger vs occupant)
+    u32 challenger = 0;  ///< sector currently accumulating the counter
+  };
+
+  PomConfig cfg_;
+  u32 sets_;
+  u32 m_;
+  std::vector<SetEntry> entries_;
+  std::unique_ptr<hmm::MetadataModel> meta_;
+};
+
+}  // namespace bb::baselines

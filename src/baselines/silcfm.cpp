@@ -1,0 +1,147 @@
+#include "baselines/silcfm.h"
+
+#include <cassert>
+
+namespace bb::baselines {
+
+SilcFmController::SilcFmController(mem::DramDevice& hbm,
+                                   mem::DramDevice& dram,
+                                   hmm::PagingConfig paging,
+                                   const SilcFmConfig& cfg)
+    : HybridMemoryController(
+          "SILC-FM", hbm, dram,
+          [&] {
+            paging.visible_bytes = dram.capacity() + hbm.capacity();
+            return paging;
+          }()),
+      cfg_(cfg),
+      sets_(static_cast<u32>(hbm.capacity() / cfg.block_bytes)),
+      m_(static_cast<u32>(dram.capacity() / cfg.block_bytes / sets_)) {
+  entries_.resize(sets_);
+  for (auto& e : entries_) {
+    e.present.resize(subblocks());
+    e.counter.assign(m_ + 1, 0);
+  }
+
+  hmm::MetadataConfig mc;
+  mc.placement = hmm::MetadataPlacement::kSramCachedHbm;
+  mc.cache_bytes = cfg_.metadata_cache_bytes;
+  mc.entry_bytes = 8;
+  meta_ = std::make_unique<hmm::MetadataModel>(mc, &hbm);
+}
+
+u64 SilcFmController::metadata_sram_bytes() const {
+  // Per set: paired-block id, the presence bit vector and counters.
+  return static_cast<u64>(sets_) *
+         (4 + subblocks() / 8 + (m_ + 1));
+}
+
+hmm::HmmResult SilcFmController::service(Addr addr, AccessType type,
+                                         Tick now) {
+  hmm::HmmResult res;
+  const u64 visible =
+      static_cast<u64>(sets_) * (m_ + 1) * cfg_.block_bytes;
+  const Addr a = addr % visible;
+  const u64 blk_global = a / cfg_.block_bytes;
+  // Strided (CAMEO-style) congruence groups: block b shares set b % sets_.
+  const u32 set = static_cast<u32>(blk_global % sets_);
+  const u32 blk = static_cast<u32>(blk_global / sets_);  // in-set index
+  const u64 off = a % cfg_.block_bytes;
+  const u32 sub = static_cast<u32>(off / cfg_.subblock_bytes);
+  SetEntry& e = entries_[set];
+
+  res.metadata_latency = meta_->lookup(blk_global, now);
+  Tick t = now + res.metadata_latency;
+
+  if (e.counter[blk] < 0xff) ++e.counter[blk];
+
+  const Addr near_base = static_cast<u64>(set) * cfg_.block_bytes;
+  auto far_addr = [&](u32 b) {
+    // In-set far block index m_ is the near-native block's spill frame;
+    // far blocks [0, m_) have their own frames.
+    return (static_cast<u64>(b % m_) * sets_ + set) * cfg_.block_bytes;
+  };
+
+  // The near-native block (in-set index m_) is served near except for the
+  // subblocks currently lent to the paired far block.
+  if (blk == m_) {
+    const bool displaced =
+        e.paired != kNone && e.present.test(sub);
+    if (!displaced) {
+      const Addr pa = near_base + off;
+      const auto r =
+          hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+      res.complete = r.complete;
+      res.served_by_hbm = true;
+      res.phys_addr = pa;
+      return res;
+    }
+    // Its subblock was swapped out to the paired block's far frame.
+    const Addr pa = far_addr(e.paired) + off;
+    const auto r = dram().access(pa, 64, type, t,
+                                 mem::TrafficClass::kDemand);
+    res.complete = r.complete;
+    res.served_by_hbm = false;
+    res.phys_addr = pa;
+    return res;
+  }
+
+  if (e.paired == blk && e.present.test(sub)) {
+    // Paired far block, subblock already interleaved into near memory.
+    const Addr pa = near_base + off;
+    const auto r = hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+    res.complete = r.complete;
+    res.served_by_hbm = true;
+    res.phys_addr = pa;
+    return res;
+  }
+
+  // Far access.
+  const Addr pa = far_addr(blk) + off;
+  const auto r = dram().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = pa;
+
+  // Pairing: a hot far block claims the near slot; switching pairs first
+  // restores the previous pair's swapped subblocks (subblock-granularity
+  // swaps back), the cheap-reconfiguration property SILC-FM claims.
+  if (e.paired != blk) {
+    const u8 incumbent =
+        e.paired == kNone ? 0 : e.counter[e.paired];
+    if (e.counter[blk] >= static_cast<u32>(incumbent) +
+                              cfg_.pair_threshold) {
+      if (e.paired != kNone) {
+        for (u32 s2 = 0; s2 < subblocks(); ++s2) {
+          if (e.present.test(s2)) {
+            swap_data(hbm(), near_base + s2 * cfg_.subblock_bytes, dram(),
+                      far_addr(e.paired) + s2 * cfg_.subblock_bytes,
+                      cfg_.subblock_bytes, r.complete,
+                      mem::TrafficClass::kMigration);
+            ++mutable_stats().swaps;
+          }
+        }
+        if (e.paired != kNone) e.counter[e.paired] /= 2;
+        e.present.clear_all();
+      }
+      e.paired = blk;
+      ++mutable_stats().mode_switches;  // re-pairing event
+    }
+  }
+
+  // Demand-driven subblock interleaving for the paired block.
+  if (e.paired == blk && !e.present.test(sub)) {
+    swap_data(hbm(), near_base + sub * cfg_.subblock_bytes, dram(),
+              far_addr(blk) + sub * cfg_.subblock_bytes,
+              cfg_.subblock_bytes, r.complete,
+              mem::TrafficClass::kMigration);
+    e.present.set(sub);
+    ++mutable_stats().blocks_fetched;
+    ++mutable_stats().fetched_blocks_used;
+    ++mutable_stats().swaps;
+    meta_->update(blk_global, r.complete);
+  }
+  return res;
+}
+
+}  // namespace bb::baselines

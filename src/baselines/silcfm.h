@@ -1,0 +1,64 @@
+// SILC-FM — "Subblocked Interleaved Cache-Like Flat Memory Organization"
+// (Ryoo et al., HPCA 2017). Reference [7] of the paper.
+//
+// A flat (OS-visible) organization that migrates at SUBBLOCK (64 B x N)
+// granularity inside large blocks: a near-memory block can interleave
+// subblocks from a far block with its own, tracked by a presence bit
+// vector — cache-like hit behaviour without cache tags, and without
+// moving whole large blocks. A far block whose access counter passes a
+// threshold becomes the near block's "paired" block and its subblocks are
+// swapped in on demand. The remapping/bitvector metadata exceeds SRAM and
+// sits behind a metadata cache (the high remapping overhead the paper
+// cites for mHBM designs).
+#pragma once
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "hmm/controller.h"
+#include "hmm/metadata.h"
+
+namespace bb::baselines {
+
+struct SilcFmConfig {
+  u64 block_bytes = 2 * KiB;     ///< large block (near slot granularity)
+  u64 subblock_bytes = 64;       ///< migration granularity
+  u32 pair_threshold = 4;        ///< counter to become the paired block
+  u64 metadata_cache_bytes = 512 * KiB;
+};
+
+class SilcFmController final : public hmm::HybridMemoryController {
+ public:
+  SilcFmController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                   hmm::PagingConfig paging = {},
+                   const SilcFmConfig& cfg = {});
+
+  u64 metadata_sram_bytes() const override;
+
+  u32 set_count() const { return sets_; }
+  u32 blocks_per_set() const { return m_ + 1; }
+
+ protected:
+  hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
+
+ private:
+  static constexpr u32 kNone = ~u32{0};
+
+  struct SetEntry {
+    u32 paired = kNone;     ///< far block interleaved into the near slot
+    BitVector present;      ///< paired block's subblocks now in near memory
+    std::vector<u8> counter;
+  };
+
+  u32 subblocks() const {
+    return static_cast<u32>(cfg_.block_bytes / cfg_.subblock_bytes);
+  }
+
+  SilcFmConfig cfg_;
+  u32 sets_;  ///< one near block per set
+  u32 m_;     ///< far blocks per set
+  std::vector<SetEntry> entries_;
+  std::unique_ptr<hmm::MetadataModel> meta_;
+};
+
+}  // namespace bb::baselines

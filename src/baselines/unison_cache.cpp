@@ -1,0 +1,169 @@
+#include "baselines/unison_cache.h"
+
+namespace bb::baselines {
+
+UnisonCacheController::UnisonCacheController(mem::DramDevice& hbm,
+                                             mem::DramDevice& dram,
+                                             hmm::PagingConfig paging,
+                                             const UnisonConfig& cfg)
+    : HybridMemoryController("UC", hbm, dram,
+                             [&] {
+                               paging.visible_bytes = dram.capacity();
+                               return paging;
+                             }()),
+      cfg_(cfg) {
+  const u64 slot_bytes = cfg_.page_bytes + cfg_.tag_bytes_per_page;
+  const u64 pages = hbm.capacity() / slot_bytes;
+  sets_ = static_cast<u32>(pages / cfg_.ways);
+  ways_.resize(static_cast<std::size_t>(sets_) * cfg_.ways);
+  for (auto& w : ways_) {
+    w.present.resize(blocks_per_page());
+    w.dirty.resize(blocks_per_page());
+    w.used.resize(blocks_per_page());
+  }
+}
+
+u64 UnisonCacheController::metadata_sram_bytes() const {
+  // Footprint history table: per entry a page id (4 B) plus one bit per
+  // block of the page.
+  return cfg_.footprint_table_entries * (4 + blocks_per_page() / 8);
+}
+
+Addr UnisonCacheController::frame_addr(u32 set, u32 w) const {
+  const u64 slot_bytes = cfg_.page_bytes + cfg_.tag_bytes_per_page;
+  return (static_cast<u64>(set) * cfg_.ways + w) * slot_bytes;
+}
+
+BitVector UnisonCacheController::predicted_footprint(u64 page) const {
+  // The history table is direct-mapped by page id (aliasing pages share an
+  // entry, as a real bounded SRAM table would).
+  const auto it = footprints_.find(page % cfg_.footprint_table_entries);
+  if (it != footprints_.end()) return it->second;
+  return BitVector(blocks_per_page());
+}
+
+void UnisonCacheController::evict(u32 set, u32 w, Tick now) {
+  Way& way = way_at(set, w);
+  if (!way.valid) return;
+  const Addr frame = frame_addr(set, w);
+  const Addr home = (way.page * cfg_.page_bytes) % dram().capacity();
+  for (u32 b = 0; b < blocks_per_page(); ++b) {
+    if (way.dirty.test(b)) {
+      move_data(hbm(), frame + b * cfg_.block_bytes, dram(),
+                home + b * cfg_.block_bytes, cfg_.block_bytes, now,
+                mem::TrafficClass::kWriteback);
+    }
+  }
+  // Record the residency footprint for the next fill of this page.
+  footprints_[way.page % cfg_.footprint_table_entries] = way.used;
+  way.valid = false;
+  way.present.clear_all();
+  way.dirty.clear_all();
+  way.used.clear_all();
+  ++mutable_stats().evictions;
+}
+
+hmm::HmmResult UnisonCacheController::service(Addr addr, AccessType type,
+                                              Tick now) {
+  hmm::HmmResult res;
+  const Addr phys = addr % dram().capacity();
+  const u64 page = phys / cfg_.page_bytes;
+  const u32 set = static_cast<u32>(page % sets_);
+  const u32 block = static_cast<u32>((phys % cfg_.page_bytes) /
+                                     cfg_.block_bytes);
+  const u64 in_block_off = phys % cfg_.block_bytes;
+
+  // Embedded tags: one HBM metadata read covering the set's way tags.
+  const auto tags = hbm().access(frame_addr(set, 0) + cfg_.page_bytes,
+                                 cfg_.tag_bytes_per_page * cfg_.ways,
+                                 AccessType::kRead, now,
+                                 mem::TrafficClass::kMetadata);
+  res.metadata_latency = tags.latency();
+  Tick t = tags.complete;
+
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = way_at(set, w);
+    if (way.valid && way.page == page) {
+      way.lru_stamp = ++lru_clock_;
+      if (way.present.test(block)) {
+        const Addr pa = frame_addr(set, w) + block * cfg_.block_bytes +
+                        in_block_off;
+        const auto r =
+            hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+        res.complete = r.complete;
+        res.served_by_hbm = true;
+        res.phys_addr = pa;
+        if (type == AccessType::kWrite) way.dirty.set(block);
+        if (!way.used.test(block)) {
+          way.used.set(block);
+          ++mutable_stats().fetched_blocks_used;
+        }
+        return res;
+      }
+      // Footprint mispredict: block not fetched; serve off-chip and add it.
+      const auto r = dram().access(phys, 64, type, t,
+                                   mem::TrafficClass::kDemand);
+      move_data(dram(), phys - in_block_off, hbm(),
+                frame_addr(set, w) + block * cfg_.block_bytes,
+                cfg_.block_bytes, r.complete, mem::TrafficClass::kFill);
+      way.present.set(block);
+      way.used.set(block);
+      ++mutable_stats().blocks_fetched;
+      ++mutable_stats().fetched_blocks_used;
+      res.complete = r.complete;
+      res.served_by_hbm = false;
+      res.phys_addr = phys;
+      return res;
+    }
+  }
+
+  // Page miss: serve off-chip, then install with the predicted footprint.
+  const auto r = dram().access(phys, 64, type, t, mem::TrafficClass::kDemand);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = phys;
+
+  // Victim: invalid way or LRU.
+  u32 victim = 0;
+  u64 oldest = ~u64{0};
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    Way& way = way_at(set, w);
+    if (!way.valid) {
+      victim = w;
+      oldest = 0;
+      break;
+    }
+    if (way.lru_stamp < oldest) {
+      oldest = way.lru_stamp;
+      victim = w;
+    }
+  }
+  evict(set, victim, r.complete);
+
+  Way& way = way_at(set, victim);
+  way.valid = true;
+  way.page = page;
+  way.lru_stamp = ++lru_clock_;
+  BitVector fp = predicted_footprint(page);
+  fp.set(block);  // always fetch the demanded block
+  const Addr frame = frame_addr(set, victim);
+  const Addr home = page * cfg_.page_bytes;
+  for (u32 b = 0; b < blocks_per_page(); ++b) {
+    if (fp.test(b)) {
+      move_data(dram(), home + b * cfg_.block_bytes, hbm(),
+                frame + b * cfg_.block_bytes, cfg_.block_bytes, r.complete,
+                mem::TrafficClass::kFill);
+      way.present.set(b);
+      ++mutable_stats().blocks_fetched;
+    }
+  }
+  way.used.set(block);
+  ++mutable_stats().fetched_blocks_used;
+  if (type == AccessType::kWrite) way.dirty.set(block);
+  // Tag update rides with the fill.
+  hbm().access(frame + cfg_.page_bytes, cfg_.tag_bytes_per_page,
+               AccessType::kWrite, r.complete, mem::TrafficClass::kMetadata);
+  return res;
+}
+
+}  // namespace bb::baselines

@@ -1,0 +1,111 @@
+#include "bumblebee/config.h"
+
+#include <cassert>
+
+namespace bb::bumblebee {
+
+BumblebeeConfig BumblebeeConfig::baseline() { return BumblebeeConfig{}; }
+
+BumblebeeConfig BumblebeeConfig::c_only() {
+  BumblebeeConfig c;
+  c.enable_migration = false;
+  c.alloc = AllocPolicy::kDramFirst;
+  c.variant_name = "C-Only";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::m_only() {
+  BumblebeeConfig c;
+  c.enable_caching = false;
+  c.variant_name = "M-Only";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::fixed_chbm(double fraction) {
+  BumblebeeConfig c;
+  c.fixed_chbm_fraction = fraction;
+  c.variant_name =
+      fraction == 0.25 ? "25%-C" : (fraction == 0.5 ? "50%-C" : "Fixed-C");
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::no_multi() {
+  BumblebeeConfig c;
+  c.multiplexed_space = false;
+  c.variant_name = "No-Multi";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::meta_h() {
+  BumblebeeConfig c;
+  c.metadata_in_hbm = true;
+  c.variant_name = "Meta-H";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::alloc_d() {
+  BumblebeeConfig c;
+  c.alloc = AllocPolicy::kDramFirst;
+  c.variant_name = "Alloc-D";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::alloc_h() {
+  BumblebeeConfig c;
+  c.alloc = AllocPolicy::kHbmFirst;
+  c.variant_name = "Alloc-H";
+  return c;
+}
+
+BumblebeeConfig BumblebeeConfig::no_hmf() {
+  BumblebeeConfig c;
+  c.high_footprint_actions = false;
+  c.variant_name = "No-HMF";
+  return c;
+}
+
+Geometry Geometry::make(const BumblebeeConfig& cfg, u64 hbm_bytes,
+                        u64 dram_bytes) {
+  Geometry g;
+  g.page_bytes = cfg.page_bytes;
+  g.block_bytes = cfg.block_bytes;
+  g.blocks_per_page = cfg.blocks_per_page();
+  assert(g.blocks_per_page >= 1);
+
+  const u64 hbm_pages = hbm_bytes / cfg.page_bytes;
+  g.n = cfg.hbm_ways;
+  assert(hbm_pages >= g.n);
+  g.sets = static_cast<u32>(hbm_pages / g.n);
+  const u64 dram_pages = dram_bytes / cfg.page_bytes;
+  g.m = static_cast<u32>(dram_pages / g.sets);
+  assert(g.m >= 1);
+  return g;
+}
+
+MetadataBudget metadata_budget(const BumblebeeConfig& cfg, const Geometry& g) {
+  MetadataBudget b;
+  const u64 ple_bits = bits_for(g.slots());
+
+  // PRT: one new-PLE plus one Occup bit per slot.
+  const u64 prt_bits_per_set = static_cast<u64>(g.slots()) * (ple_bits + 1);
+
+  // BLE array: per HBM frame a PLE, a valid and a dirty bit vector, and a
+  // 2-bit mode (free / cHBM / mHBM).
+  const u64 ble_bits_per_frame = ple_bits + 2ULL * g.blocks_per_page + 2;
+  const u64 ble_bits_per_set = static_cast<u64>(g.n) * ble_bits_per_frame;
+
+  // Hotness tracker: two queues of (PLE, counter) entries plus the five
+  // per-set parameters (Rh, T, Nc, Na, Nn — each bounded by a counter /
+  // slot-count width).
+  const u64 entry_bits = ple_bits + cfg.counter_bits;
+  const u64 queue_entries = g.n + cfg.dram_queue_depth;
+  const u64 param_bits = 5ULL * 16;
+  const u64 hot_bits_per_set = queue_entries * entry_bits + param_bits;
+
+  b.prt_bytes = ceil_div(prt_bits_per_set * g.sets, 8);
+  b.ble_bytes = ceil_div(ble_bits_per_set * g.sets, 8);
+  b.hotness_bytes = ceil_div(hot_bits_per_set * g.sets, 8);
+  return b;
+}
+
+}  // namespace bb::bumblebee

@@ -1,0 +1,116 @@
+// Bumblebee configuration: geometry, policy knobs and ablation switches.
+//
+// Defaults reproduce the paper's evaluated configuration (Section IV-A/B):
+// 64 KB pages, 2 KB blocks, 8-way set-associative management for both cHBM
+// and mHBM, an 8-entry hot-table queue for recently accessed off-chip
+// pages, T = the smallest hotness value among the set's HBM pages, and
+// "high Rh" meaning every HBM frame in the set is occupied.
+//
+// The ablation switches correspond one-to-one to the Figure 7 factor
+// breakdown: C-Only, M-Only, 25%-C, 50%-C, No-Multi, Meta-H, Alloc-D,
+// Alloc-H and No-HMF.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace bb::bumblebee {
+
+enum class AllocPolicy : u8 {
+  kHotnessBased,  ///< Section III-D: follow the previous allocation if it is
+                  ///< still hot in HBM and free HBM space exists
+  kDramFirst,     ///< Alloc-D ablation: always allocate in off-chip DRAM
+  kHbmFirst,      ///< Alloc-H ablation: allocate in HBM while space remains
+};
+
+struct BumblebeeConfig {
+  // ------------------------------------------------------------- geometry
+  u64 page_bytes = 64 * KiB;  ///< migration granularity (mHBM pages)
+  u64 block_bytes = 2 * KiB;  ///< caching granularity (cHBM blocks)
+  u32 hbm_ways = 8;           ///< HBM pages per remapping set (n)
+
+  // ---------------------------------------------------------- hot tracker
+  u32 dram_queue_depth = 8;   ///< recently-accessed off-chip pages tracked
+  u32 counter_bits = 12;      ///< hot-table counter width (saturating)
+
+  // --------------------------------------------------------------- policy
+  /// A cHBM page whose valid fraction strictly exceeds this becomes mHBM
+  /// ("most blocks in the page have been cached").
+  double switch_fraction = 0.5;
+  /// Set accesses with an unchanged hot-queue head before the head is
+  /// declared a zombie page and evicted (movement trigger 3).
+  u32 zombie_window = 1024;
+  /// Remapping sets whose cHBM is flushed per high-footprint batch
+  /// (movement trigger 5).
+  u32 flush_batch_sets = 64;
+
+  // ------------------------------------------------------------- metadata
+  Tick sram_latency = ns_to_ticks(2.0);
+  bool metadata_in_hbm = false;  ///< Meta-H ablation
+
+  // -------------------------------------------------------- ablation mode
+  bool enable_caching = true;     ///< false: M-Only
+  bool enable_migration = true;   ///< false: C-Only
+  /// >= 0 fixes the cHBM share of each set (0.25 => 25%-C, 0.5 => 50%-C):
+  /// frame roles become static and mode switching is disabled.
+  double fixed_chbm_fraction = -1.0;
+  bool multiplexed_space = true;  ///< false: No-Multi (mode switch moves data)
+  AllocPolicy alloc = AllocPolicy::kHotnessBased;
+  bool high_footprint_actions = true;  ///< false: No-HMF
+
+  std::string variant_name = "Bumblebee";
+
+  u32 blocks_per_page() const {
+    return static_cast<u32>(page_bytes / block_bytes);
+  }
+
+  // Named ablation presets (Figure 7).
+  static BumblebeeConfig baseline();
+  static BumblebeeConfig c_only();
+  static BumblebeeConfig m_only();
+  static BumblebeeConfig fixed_chbm(double fraction);  // 25%-C / 50%-C
+  static BumblebeeConfig no_multi();
+  static BumblebeeConfig meta_h();
+  static BumblebeeConfig alloc_d();
+  static BumblebeeConfig alloc_h();
+  static BumblebeeConfig no_hmf();
+};
+
+/// Derived per-run geometry: remapping sets and in-set slot layout.
+///
+/// Slots [0, m) of a set are off-chip DRAM frames, slots [m, m+n) are HBM
+/// frames. Logical (OS-visible) page p of the DRAM region belongs to set
+/// p % sets with in-set index p / sets; HBM-region logical pages map onto
+/// the HBM slots the same way.
+struct Geometry {
+  u64 page_bytes = 0;
+  u64 block_bytes = 0;
+  u32 blocks_per_page = 0;
+  u32 sets = 0;
+  u32 m = 0;  ///< DRAM frames (and DRAM-region logical pages) per set
+  u32 n = 0;  ///< HBM frames (and HBM-region logical pages) per set
+
+  u64 dram_pages() const { return static_cast<u64>(m) * sets; }
+  u64 hbm_pages() const { return static_cast<u64>(n) * sets; }
+  u64 total_pages() const { return dram_pages() + hbm_pages(); }
+  u64 visible_bytes() const { return total_pages() * page_bytes; }
+  u32 slots() const { return m + n; }
+
+  /// Builds geometry from device capacities; truncates to whole sets.
+  static Geometry make(const BumblebeeConfig& cfg, u64 hbm_bytes,
+                       u64 dram_bytes);
+};
+
+/// Exact SRAM metadata budget of a configuration in bytes, decomposed as in
+/// Section IV-B (PRT / BLE array / hotness tracker).
+struct MetadataBudget {
+  u64 prt_bytes = 0;
+  u64 ble_bytes = 0;
+  u64 hotness_bytes = 0;
+  u64 total() const { return prt_bytes + ble_bytes + hotness_bytes; }
+};
+
+MetadataBudget metadata_budget(const BumblebeeConfig& cfg, const Geometry& g);
+
+}  // namespace bb::bumblebee

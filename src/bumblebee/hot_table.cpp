@@ -1,0 +1,136 @@
+#include "bumblebee/hot_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::bumblebee {
+
+HotTable::HotTable(u32 hbm_capacity, u32 dram_capacity, u64 counter_max)
+    : hbm_capacity_(hbm_capacity),
+      dram_capacity_(dram_capacity),
+      counter_max_(counter_max) {
+  hbm_.reserve(hbm_capacity_);
+  dram_.reserve(dram_capacity_ + 1);
+}
+
+std::optional<std::size_t> HotTable::find(const std::vector<Entry>& q,
+                                          u32 page) {
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    if (q[i].page == page) return i;
+  }
+  return std::nullopt;
+}
+
+u64 HotTable::touch_hbm(u32 page) {
+  const auto idx = find(hbm_, page);
+  Entry e;
+  if (idx) {
+    e = hbm_[*idx];
+    hbm_.erase(hbm_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  } else {
+    assert(hbm_.size() < hbm_capacity_ &&
+           "HBM queue must have room: it tracks at most n resident pages");
+  }
+  e.page = page;
+  e.counter = std::min(e.counter + 1, counter_max_);
+  hbm_.push_back(e);
+  return e.counter;
+}
+
+u64 HotTable::touch_dram(u32 page) {
+  const auto idx = find(dram_, page);
+  Entry e;
+  if (idx) {
+    e = dram_[*idx];
+    dram_.erase(dram_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  }
+  e.page = page;
+  e.counter = std::min(e.counter + 1, counter_max_);
+  dram_.push_back(e);
+  if (dram_.size() > dram_capacity_) {
+    dram_.erase(dram_.begin());  // drop the LRU off-chip entry
+  }
+  return e.counter;
+}
+
+u64 HotTable::hotness(u32 page) const {
+  if (const auto i = find(hbm_, page)) return hbm_[*i].counter;
+  if (const auto i = find(dram_, page)) return dram_[*i].counter;
+  return 0;
+}
+
+u64 HotTable::min_hbm_counter() const {
+  u64 t = 0;
+  bool first = true;
+  for (const Entry& e : hbm_) {
+    if (first || e.counter < t) {
+      t = e.counter;
+      first = false;
+    }
+  }
+  return t;
+}
+
+std::optional<HotTable::Entry> HotTable::lru_hbm() const {
+  if (hbm_.empty()) return std::nullopt;
+  return hbm_.front();
+}
+
+std::optional<HotTable::Entry> HotTable::coldest_hbm(u32 exclude) const {
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < hbm_.size(); ++i) {
+    if (hbm_[i].page == exclude) continue;
+    if (!best || hbm_[i].counter < hbm_[*best].counter) best = i;
+  }
+  if (!best) return std::nullopt;
+  return hbm_[*best];
+}
+
+void HotTable::move_hbm_to_dram(u32 page) {
+  const auto idx = find(hbm_, page);
+  if (!idx) return;
+  Entry e = hbm_[*idx];
+  hbm_.erase(hbm_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  // Remove any stale entry, then push at MRU keeping the counter.
+  if (const auto d = find(dram_, page)) {
+    dram_.erase(dram_.begin() + static_cast<std::ptrdiff_t>(*d));
+  }
+  dram_.push_back(e);
+  if (dram_.size() > dram_capacity_) {
+    dram_.erase(dram_.begin());
+  }
+}
+
+void HotTable::move_dram_to_hbm(u32 page) {
+  Entry e{page, 0};
+  if (const auto d = find(dram_, page)) {
+    e = dram_[*d];
+    dram_.erase(dram_.begin() + static_cast<std::ptrdiff_t>(*d));
+  }
+  if (const auto h = find(hbm_, page)) {
+    // Already tracked (defensive); merge counters.
+    hbm_[*h].counter = std::min(hbm_[*h].counter + e.counter, counter_max_);
+    return;
+  }
+  assert(hbm_.size() < hbm_capacity_);
+  hbm_.push_back(e);
+}
+
+void HotTable::requeue_hbm_mru(u32 page) {
+  const auto idx = find(hbm_, page);
+  if (!idx) return;
+  const Entry e = hbm_[*idx];
+  hbm_.erase(hbm_.begin() + static_cast<std::ptrdiff_t>(*idx));
+  hbm_.push_back(e);
+}
+
+void HotTable::remove(u32 page) {
+  if (const auto h = find(hbm_, page)) {
+    hbm_.erase(hbm_.begin() + static_cast<std::ptrdiff_t>(*h));
+  }
+  if (const auto d = find(dram_, page)) {
+    dram_.erase(dram_.begin() + static_cast<std::ptrdiff_t>(*d));
+  }
+}
+
+}  // namespace bb::bumblebee

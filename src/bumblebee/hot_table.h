@@ -1,0 +1,91 @@
+// Per-remapping-set hot table (Figure 4 of the paper).
+//
+// Two LRU queues of (page, counter) entries:
+//   * the HBM queue tracks every page currently resident in HBM (cHBM or
+//     mHBM) — at most n entries;
+//   * the off-chip DRAM queue tracks the most recently accessed off-chip
+//     pages — a fixed small depth (8 in the evaluated configuration).
+//
+// Each entry's counter records the page's access count while in the queue
+// (the paper's "hotness value"). Entries popped from the HBM queue are
+// pushed back into the DRAM queue (the page is being evicted from HBM);
+// entries popped from the DRAM queue are dropped.
+//
+// Queues are tiny (8 + 8 entries), so linear vectors beat pointer-chasing
+// structures; the MRU end is the back of the vector.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bb::bumblebee {
+
+class HotTable {
+ public:
+  struct Entry {
+    u32 page = 0;   ///< in-set logical page index
+    u64 counter = 0;
+  };
+
+  HotTable(u32 hbm_capacity, u32 dram_capacity, u64 counter_max);
+
+  /// Records an access to a page resident in HBM: moves it to the MRU end
+  /// (inserting if absent) and bumps its counter. Returns the new counter.
+  u64 touch_hbm(u32 page);
+
+  /// Records an access to an off-chip page; LRU-inserts into the DRAM queue
+  /// (dropping the LRU entry on overflow). Returns the new counter.
+  u64 touch_dram(u32 page);
+
+  /// The page's hotness: its counter in either queue, 0 if untracked.
+  u64 hotness(u32 page) const;
+
+  /// T — the smallest counter among HBM-queue entries (0 if the queue is
+  /// empty).
+  u64 min_hbm_counter() const;
+
+  /// LRU entry of the HBM queue (zombie detection watches this head).
+  std::optional<Entry> lru_hbm() const;
+
+  /// Eviction candidate: the entry with the smallest counter — the page
+  /// that defines T — tie-broken towards the LRU end. Evicting it keeps
+  /// the admission gate (hotness > T) and the replacement victim
+  /// consistent, so marginal entrants churn among themselves instead of
+  /// displacing established hot pages. `exclude` skips one page (the one
+  /// just given its buffering second chance).
+  std::optional<Entry> coldest_hbm(u32 exclude = ~u32{0}) const;
+
+  /// The page is leaving HBM: removes it from the HBM queue and pushes its
+  /// entry into the DRAM queue (keeping the counter), per the paper.
+  void move_hbm_to_dram(u32 page);
+
+  /// The page entered HBM: moves (or inserts) its entry into the HBM queue,
+  /// keeping any counter it accumulated in the DRAM queue.
+  void move_dram_to_hbm(u32 page);
+
+  /// Re-queues an HBM-resident page at the MRU end without bumping its
+  /// counter (the "one more chance" buffering of eviction trigger 2).
+  void requeue_hbm_mru(u32 page);
+
+  /// Forgets a page entirely (OS swap-out fallback).
+  void remove(u32 page);
+
+  std::size_t hbm_size() const { return hbm_.size(); }
+  std::size_t dram_size() const { return dram_.size(); }
+  const std::vector<Entry>& hbm_entries() const { return hbm_; }
+  const std::vector<Entry>& dram_entries() const { return dram_; }
+
+ private:
+  static std::optional<std::size_t> find(const std::vector<Entry>& q,
+                                         u32 page);
+
+  u32 hbm_capacity_;
+  u32 dram_capacity_;
+  u64 counter_max_;
+  std::vector<Entry> hbm_;   ///< index 0 = LRU, back = MRU
+  std::vector<Entry> dram_;
+};
+
+}  // namespace bb::bumblebee

@@ -1,0 +1,150 @@
+// Per-remapping-set metadata: the PRT slice and the BLE array (Figure 3).
+//
+// A set has m + n slots: slots [0, m) are off-chip DRAM frames, [m, m+n)
+// are HBM frames. Logical page i of the set (its "original PLE") may be
+// remapped to any frame j via new_ple[i]; occup[j] says whether frame j
+// holds some page's authoritative data. Each HBM frame additionally has a
+// BLE describing its role:
+//   * kFree  — frame holds nothing,
+//   * kCache — frame holds a cHBM copy of a DRAM-resident page `ple`
+//              (valid = blocks present, dirty = blocks modified),
+//   * kMem   — frame is the mHBM home of page `ple` (valid = blocks
+//              *accessed*, the spatial-locality signal; dirty = modified).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bumblebee/config.h"
+#include "bumblebee/hot_table.h"
+#include "common/bitvector.h"
+#include "common/types.h"
+
+namespace bb::bumblebee {
+
+inline constexpr u32 kNoPage = ~u32{0};
+inline constexpr std::int32_t kUnallocated = -1;
+
+/// Block Location Entry for one HBM frame.
+struct Ble {
+  enum class Mode : u8 { kFree, kCache, kMem };
+
+  Mode mode = Mode::kFree;
+  u32 ple = kNoPage;  ///< in-set index of the page whose data is here
+  BitVector valid;    ///< cache: blocks present; mem: blocks accessed
+  BitVector dirty;    ///< blocks modified relative to the off-chip copy
+
+  // Over-fetch accounting only (not modeled as stored metadata): which
+  // blocks were *fetched* into HBM and which of those were later demanded.
+  BitVector fetched;
+  BitVector used;
+
+  void reset(u32 blocks_per_page) {
+    mode = Mode::kFree;
+    ple = kNoPage;
+    valid.resize(blocks_per_page);
+    dirty.resize(blocks_per_page);
+    fetched.resize(blocks_per_page);
+    used.resize(blocks_per_page);
+  }
+};
+
+/// All metadata of one remapping set.
+struct SetState {
+  SetState(const Geometry& g, u32 dram_queue_depth, u64 counter_max)
+      : new_ple(g.slots(), kUnallocated),
+        occup(g.slots(), false),
+        ble(g.n),
+        hot(g.n, dram_queue_depth, counter_max) {
+    for (auto& b : ble) b.reset(g.blocks_per_page);
+  }
+
+  std::vector<std::int32_t> new_ple;  ///< slot-indexed; -1 = unallocated
+  std::vector<bool> occup;            ///< frame-indexed
+  std::vector<Ble> ble;               ///< HBM frames only (size n)
+  HotTable hot;
+
+  // Zombie-page detection (movement trigger 3): the HBM queue head and its
+  // counter, and for how many set accesses they have been unchanged.
+  u32 zombie_page = kNoPage;
+  u64 zombie_counter = 0;
+  u32 zombie_age = 0;
+
+  u64 accesses = 0;           ///< total accesses routed to this set
+  bool chbm_disabled = false; ///< high-footprint batch flush (trigger 5)
+  std::int32_t last_alloc_page = -1;  ///< hotness-based allocation hint
+
+  /// Frame currently caching page i in cHBM mode, or kNoPage.
+  u32 cache_frame_of(u32 page) const {
+    for (u32 k = 0; k < ble.size(); ++k) {
+      if (ble[k].mode == Ble::Mode::kCache && ble[k].ple == page) return k;
+    }
+    return kNoPage;
+  }
+
+  /// First free HBM frame (BLE index), or kNoPage.
+  u32 free_hbm_frame() const {
+    for (u32 k = 0; k < ble.size(); ++k) {
+      if (ble[k].mode == Ble::Mode::kFree) return k;
+    }
+    return kNoPage;
+  }
+
+  u32 free_hbm_frames() const {
+    u32 c = 0;
+    for (const auto& b : ble) c += (b.mode == Ble::Mode::kFree);
+    return c;
+  }
+
+  /// First unoccupied DRAM frame, or kNoPage. Prefers `preferred` if free.
+  u32 free_dram_frame(u32 m, u32 preferred = kNoPage) const {
+    if (preferred != kNoPage && preferred < m && !occup[preferred]) {
+      return preferred;
+    }
+    for (u32 j = 0; j < m; ++j) {
+      if (!occup[j]) return j;
+    }
+    return kNoPage;
+  }
+
+  /// Rh is "high" iff every HBM frame is in use (the paper defines high as
+  /// Rh reaching 1 to maximize HBM utilization).
+  bool rh_high() const { return free_hbm_frames() == 0; }
+  double rh() const {
+    return 1.0 - static_cast<double>(free_hbm_frames()) /
+                     static_cast<double>(ble.size());
+  }
+};
+
+/// Spatial-locality summary of a set (Section III-E, Equation 1).
+struct SpatialSummary {
+  u32 nc = 0;  ///< cHBM frames
+  u32 na = 0;  ///< mHBM frames with most blocks accessed
+  u32 nn = 0;  ///< mHBM frames with most blocks NOT accessed
+  int sl() const { return static_cast<int>(na) - static_cast<int>(nn) -
+                          static_cast<int>(nc); }
+};
+
+inline SpatialSummary spatial_summary(const SetState& st,
+                                      u32 blocks_per_page) {
+  SpatialSummary s;
+  for (const auto& b : st.ble) {
+    switch (b.mode) {
+      case Ble::Mode::kCache:
+        ++s.nc;
+        break;
+      case Ble::Mode::kMem:
+        if (2 * b.valid.popcount() >= blocks_per_page) {
+          ++s.na;
+        } else {
+          ++s.nn;
+        }
+        break;
+      case Ble::Mode::kFree:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace bb::bumblebee

@@ -1,0 +1,61 @@
+#include "cache/hierarchy.h"
+
+namespace bb::cache {
+
+Hierarchy::Hierarchy(const HierarchyParams& params)
+    : l1_(std::make_unique<Cache>(params.l1)),
+      l2_(std::make_unique<Cache>(params.l2)),
+      l3_(std::make_unique<Cache>(params.l3)) {}
+
+HierarchyResult Hierarchy::access(Addr addr, AccessType type) {
+  HierarchyResult res;
+
+  res.latency += l1_->params().hit_latency;
+  const auto r1 = l1_->access(addr, type);
+  if (r1.hit) {
+    res.hit_level = 1;
+    return res;
+  }
+  // L1 victim writes back into L2 (write-back hierarchy); model as an L2
+  // write access so L2 dirtiness propagates.
+  if (r1.evicted && r1.evicted_dirty) {
+    (void)l2_->access(r1.evicted_addr, AccessType::kWrite);
+  }
+
+  res.latency += l2_->params().hit_latency;
+  const auto r2 = l2_->access(addr, type);
+  if (r2.hit) {
+    res.hit_level = 2;
+    return res;
+  }
+  if (r2.evicted && r2.evicted_dirty) {
+    (void)l3_->access(r2.evicted_addr, AccessType::kWrite);
+  }
+
+  res.latency += l3_->params().hit_latency;
+  const auto r3 = l3_->access(addr, type);
+  if (r3.hit) {
+    res.hit_level = 3;
+    return res;
+  }
+  res.llc_miss = true;
+  if (r3.evicted && r3.evicted_dirty) {
+    res.writeback_to_memory = true;
+    res.writeback_addr = r3.evicted_addr;
+  }
+  return res;
+}
+
+double Hierarchy::mpki(u64 instructions) const {
+  if (instructions == 0) return 0.0;
+  return static_cast<double>(l3_->stats().misses) * 1000.0 /
+         static_cast<double>(instructions);
+}
+
+void Hierarchy::reset_stats() {
+  l1_->reset_stats();
+  l2_->reset_stats();
+  l3_->reset_stats();
+}
+
+}  // namespace bb::cache

@@ -1,0 +1,70 @@
+// Three-level SRAM cache hierarchy matching Table I:
+//   IL1/DL1: private 64 KB, 4-way, LRU
+//   L2:      private 256 KB, 8-way, SRRIP
+//   L3:      shared 8 MB, 16-way, DRRIP
+//
+// Non-inclusive, write-back, write-allocate. An access walks L1 -> L2 -> L3;
+// evictions propagate writebacks toward memory. The hierarchy's output is
+// the LLC-miss stream (what the paper's HMMC sees) plus hit latency.
+#pragma once
+
+#include <memory>
+
+#include "cache/cache.h"
+
+namespace bb::cache {
+
+struct HierarchyParams {
+  CacheParams l1{.name = "L1D",
+                 .size_bytes = 64 * KiB,
+                 .ways = 4,
+                 .line_bytes = 64,
+                 .policy = PolicyKind::kLru,
+                 .hit_latency = ns_to_ticks(1.1)};   // ~4 cycles @3.6 GHz
+  CacheParams l2{.name = "L2",
+                 .size_bytes = 256 * KiB,
+                 .ways = 8,
+                 .line_bytes = 64,
+                 .policy = PolicyKind::kSrrip,
+                 .hit_latency = ns_to_ticks(3.3)};   // ~12 cycles
+  CacheParams l3{.name = "L3",
+                 .size_bytes = 8 * MiB,
+                 .ways = 16,
+                 .line_bytes = 64,
+                 .policy = PolicyKind::kDrrip,
+                 .hit_latency = ns_to_ticks(10.6)};  // ~38 cycles
+};
+
+/// Result of walking the hierarchy for one access.
+struct HierarchyResult {
+  int hit_level = 0;        ///< 1..3 = which cache hit; 0 = LLC miss
+  Tick latency = 0;         ///< cumulative lookup latency
+  bool llc_miss = false;
+  bool writeback_to_memory = false;   ///< a dirty L3 victim must be written
+  Addr writeback_addr = kAddrInvalid;
+};
+
+class Hierarchy {
+ public:
+  explicit Hierarchy(const HierarchyParams& params = HierarchyParams{});
+
+  /// Walks the hierarchy; fills on miss at every level.
+  HierarchyResult access(Addr addr, AccessType type);
+
+  const Cache& l1() const { return *l1_; }
+  const Cache& l2() const { return *l2_; }
+  const Cache& l3() const { return *l3_; }
+
+  /// LLC misses per kilo-instruction, given the instruction count that
+  /// produced the accesses so far.
+  double mpki(u64 instructions) const;
+
+  void reset_stats();
+
+ private:
+  std::unique_ptr<Cache> l1_;
+  std::unique_ptr<Cache> l2_;
+  std::unique_ptr<Cache> l3_;
+};
+
+}  // namespace bb::cache

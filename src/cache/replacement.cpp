@@ -1,0 +1,164 @@
+#include "cache/replacement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::cache {
+namespace {
+
+/// Small xorshift step for the policies' internal stochastic choices.
+u64 xorshift_step(u64& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- LRU
+
+void LruPolicy::init(u32 sets, u32 ways) {
+  ways_ = ways;
+  stamp_.assign(static_cast<std::size_t>(sets) * ways, 0);
+}
+
+void LruPolicy::touch(u32 set, u32 way) {
+  stamp_[static_cast<std::size_t>(set) * ways_ + way] = ++clock_;
+}
+
+u32 LruPolicy::victim(u32 set) {
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  u32 best = 0;
+  u64 best_stamp = stamp_[base];
+  for (u32 w = 1; w < ways_; ++w) {
+    if (stamp_[base + w] < best_stamp) {
+      best_stamp = stamp_[base + w];
+      best = w;
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- RRIP
+
+RripPolicy::RripPolicy(bool bimodal, u64 seed)
+    : bimodal_(bimodal), lfsr_(seed | 1) {}
+
+void RripPolicy::init(u32 sets, u32 ways) {
+  ways_ = ways;
+  rrpv_.assign(static_cast<std::size_t>(sets) * ways, kMaxRrpv);
+}
+
+void RripPolicy::on_fill(u32 set, u32 way) {
+  u8 insert = kMaxRrpv - 1;  // SRRIP: "long" re-reference
+  if (bimodal_) {
+    // BRRIP: distant insertion most of the time (1/32 long).
+    insert = (xorshift_step(lfsr_) & 31) == 0 ? u8(kMaxRrpv - 1) : kMaxRrpv;
+  }
+  rrpv_[static_cast<std::size_t>(set) * ways_ + way] = insert;
+}
+
+void RripPolicy::on_hit(u32 set, u32 way) {
+  rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+u32 RripPolicy::victim(u32 set) {
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (;;) {
+    for (u32 w = 0; w < ways_; ++w) {
+      if (rrpv_[base + w] == kMaxRrpv) return w;
+    }
+    for (u32 w = 0; w < ways_; ++w) ++rrpv_[base + w];
+  }
+}
+
+// ---------------------------------------------------------------- DRRIP
+
+DrripPolicy::DrripPolicy(u64 seed) : lfsr_(seed | 1) {}
+
+void DrripPolicy::init(u32 sets, u32 ways) {
+  sets_ = sets;
+  ways_ = ways;
+  rrpv_.assign(static_cast<std::size_t>(sets) * ways, kMaxRrpv);
+}
+
+DrripPolicy::SetRole DrripPolicy::role(u32 set) const {
+  // Constituency-based leader selection: every 32nd set leads a policy.
+  if (sets_ < 64) {
+    // Tiny caches: first set leads SRRIP, second leads BRRIP.
+    if (set == 0) return SetRole::kSrripLeader;
+    if (set == 1 && sets_ > 1) return SetRole::kBrripLeader;
+    return SetRole::kFollower;
+  }
+  if ((set & 31) == 0) return SetRole::kSrripLeader;
+  if ((set & 31) == 16) return SetRole::kBrripLeader;
+  return SetRole::kFollower;
+}
+
+bool DrripPolicy::use_bimodal(u32 set) {
+  switch (role(set)) {
+    case SetRole::kSrripLeader:
+      // A fill in an SRRIP leader means the SRRIP leader missed.
+      psel_ = std::min(psel_ + 1, kPselMax);
+      return false;
+    case SetRole::kBrripLeader:
+      psel_ = std::max(psel_ - 1, 0);
+      return true;
+    case SetRole::kFollower:
+      // High PSEL = SRRIP missing more = prefer BRRIP.
+      return psel_ > kPselMax / 2;
+  }
+  return false;
+}
+
+void DrripPolicy::on_fill(u32 set, u32 way) {
+  u8 insert;
+  if (use_bimodal(set)) {
+    insert = (xorshift_step(lfsr_) & 31) == 0 ? u8(kMaxRrpv - 1) : kMaxRrpv;
+  } else {
+    insert = kMaxRrpv - 1;
+  }
+  rrpv_[static_cast<std::size_t>(set) * ways_ + way] = insert;
+}
+
+void DrripPolicy::on_hit(u32 set, u32 way) {
+  rrpv_[static_cast<std::size_t>(set) * ways_ + way] = 0;
+}
+
+u32 DrripPolicy::victim(u32 set) {
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  for (;;) {
+    for (u32 w = 0; w < ways_; ++w) {
+      if (rrpv_[base + w] == kMaxRrpv) return w;
+    }
+    for (u32 w = 0; w < ways_; ++w) ++rrpv_[base + w];
+  }
+}
+
+// ---------------------------------------------------------------- Random
+
+u32 RandomPolicy::victim(u32) {
+  return static_cast<u32>(xorshift_step(lfsr_) % ways_);
+}
+
+// ---------------------------------------------------------------- factory
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, u64 seed) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case PolicyKind::kSrrip:
+      return std::make_unique<RripPolicy>(/*bimodal=*/false, seed);
+    case PolicyKind::kBrrip:
+      return std::make_unique<RripPolicy>(/*bimodal=*/true, seed);
+    case PolicyKind::kDrrip:
+      return std::make_unique<DrripPolicy>(seed);
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(seed);
+  }
+  assert(false && "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace bb::cache

@@ -1,0 +1,80 @@
+// Compact dynamic bit vector used for the BLE valid/dirty vectors and for
+// cache-line presence tracking. Sized at construction; bounds-checked.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bb {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t nbits) { resize(nbits); }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign((nbits + 63) / 64, 0);
+  }
+
+  std::size_t size() const { return nbits_; }
+
+  bool test(std::size_t i) const {
+    assert(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(std::size_t i, bool v = true) {
+    assert(i < nbits_);
+    if (v) {
+      words_[i >> 6] |= (u64{1} << (i & 63));
+    } else {
+      words_[i >> 6] &= ~(u64{1} << (i & 63));
+    }
+  }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void set_all() {
+    for (auto& w : words_) w = ~u64{0};
+    trim();
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (u64 w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const {
+    for (u64 w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  bool all() const { return popcount() == nbits_; }
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  void trim() {
+    const std::size_t rem = nbits_ & 63;
+    if (rem != 0 && !words_.empty()) {
+      words_.back() &= (u64{1} << rem) - 1;
+    }
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace bb

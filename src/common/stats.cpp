@@ -1,0 +1,41 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace bb {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void Histogram::sample(double v, u64 weight) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v >= bounds_[i]) ++i;
+  counts_[i] += weight;
+  total_ += weight;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c = 0;
+  total_ = 0;
+}
+
+double geomean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void StatGroup::reset() {
+  for (auto& [_, c] : counters_) c.reset();
+}
+
+}  // namespace bb

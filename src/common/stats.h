@@ -1,0 +1,95 @@
+// Lightweight statistics primitives: named counters, scalar summaries and
+// fixed-bucket histograms used for every reported metric.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bb {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(u64 by = 1) { value_ += by; }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// Running scalar summary (count / sum / min / max / mean).
+class ScalarStat {
+ public:
+  void sample(double v) {
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    sum_ += v;
+    ++count_;
+  }
+
+  u64 count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  void reset() { *this = ScalarStat{}; }
+
+ private:
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over fixed, caller-supplied bucket upper bounds.
+///
+/// A sample `v` lands in the first bucket whose upper bound is > v; samples
+/// beyond the last bound land in an overflow bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void sample(double v, u64 weight = 1);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  u64 bucket(std::size_t i) const { return counts_.at(i); }
+  double upper_bound(std::size_t i) const { return bounds_.at(i); }
+  u64 total() const { return total_; }
+
+  /// Fraction of samples in bucket i (0 if empty histogram).
+  double fraction(std::size_t i) const;
+
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<u64> counts_;  // bounds_.size() + 1 (overflow)
+  u64 total_ = 0;
+};
+
+/// Geometric mean of a list of positive values (0 if empty or any <= 0).
+double geomean(const std::vector<double>& values);
+
+/// A named bundle of counters for ad-hoc bookkeeping in tests/examples.
+class StatGroup {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  void reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+}  // namespace bb

@@ -1,0 +1,42 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// The figure/table reproduction binaries print aligned textual tables (and
+// optional CSV) so their output can be compared to the paper's rows.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bb {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as comma-separated values (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (locale-independent).
+std::string fmt_double(double v, int decimals = 2);
+
+/// Formats a byte count with a binary-unit suffix ("1.5 MiB").
+std::string fmt_bytes(double bytes);
+
+/// Formats a fraction as a percentage string ("12.3%").
+std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace bb

@@ -1,0 +1,75 @@
+// Fundamental scalar types and unit helpers shared by every module.
+//
+// The simulation time base is the "tick": one tick is one picosecond, so
+// both HBM2-class and DDR4-3200 clock periods (Table I of the paper) are
+// exactly representable as integers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bb {
+
+/// Simulation time in picoseconds.
+using Tick = std::uint64_t;
+
+/// Physical (or OS-visible flat) byte address.
+using Addr = std::uint64_t;
+
+/// Instruction counts, sizes, and other wide unsigned quantities.
+using u64 = std::uint64_t;
+using u32 = std::uint32_t;
+using u16 = std::uint16_t;
+using u8 = std::uint8_t;
+using i64 = std::int64_t;
+
+inline constexpr Tick kTickInvalid = std::numeric_limits<Tick>::max();
+inline constexpr Addr kAddrInvalid = std::numeric_limits<Addr>::max();
+
+inline constexpr u64 KiB = 1024;
+inline constexpr u64 MiB = 1024 * KiB;
+inline constexpr u64 GiB = 1024 * MiB;
+
+/// Ticks per nanosecond (the tick is one picosecond).
+inline constexpr Tick kTicksPerNs = 1000;
+
+/// Converts nanoseconds (possibly fractional) to ticks, rounding to nearest.
+constexpr Tick ns_to_ticks(double ns) {
+  return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
+}
+
+/// Converts ticks to (fractional) nanoseconds.
+constexpr double ticks_to_ns(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
+}
+
+/// Converts ticks to seconds.
+constexpr double ticks_to_s(Tick t) { return static_cast<double>(t) * 1e-12; }
+
+/// True iff `x` is a non-zero power of two.
+constexpr bool is_pow2(u64 x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x > 0.
+constexpr u32 log2_floor(u64 x) {
+  u32 r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x > 0: number of bits needed to index x distinct values.
+constexpr u32 bits_for(u64 distinct_values) {
+  if (distinct_values <= 1) return 0;
+  return log2_floor(distinct_values - 1) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// Read/write direction of a memory request.
+enum class AccessType : u8 { kRead, kWrite };
+
+constexpr const char* to_string(AccessType t) {
+  return t == AccessType::kRead ? "read" : "write";
+}
+
+}  // namespace bb

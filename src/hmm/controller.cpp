@@ -1,0 +1,82 @@
+#include "hmm/controller.h"
+
+#include <algorithm>
+
+namespace bb::hmm {
+
+HybridMemoryController::HybridMemoryController(std::string name,
+                                               mem::DramDevice& hbm,
+                                               mem::DramDevice& dram,
+                                               const PagingConfig& paging)
+    : name_(std::move(name)), hbm_(hbm), dram_(dram), paging_(paging) {}
+
+HmmResult HybridMemoryController::access(Addr addr, AccessType type,
+                                         Tick now) {
+  const Tick fault = paging_.touch(addr);
+  HmmResult res = service(addr, type, now + fault);
+  res.fault_penalty = fault;
+  res.complete += 0;  // service() already accounts from the delayed start
+
+  ++stats_.requests;
+  if (type == AccessType::kRead) {
+    ++stats_.reads;
+  } else {
+    ++stats_.writes;
+  }
+  if (res.served_by_hbm) ++stats_.hbm_served;
+  stats_.total_latency += res.complete - now;
+  stats_.total_metadata_latency += res.metadata_latency;
+  return res;
+}
+
+Tick HybridMemoryController::move_data(mem::DramDevice& src, Addr src_addr,
+                                       mem::DramDevice& dst, Addr dst_addr,
+                                       u64 bytes, Tick now,
+                                       mem::TrafficClass cls) {
+  const auto rd = src.access(src_addr, bytes, AccessType::kRead, now, cls);
+  const auto wr =
+      dst.access(dst_addr, bytes, AccessType::kWrite, rd.complete, cls);
+  if (movement_hook_) {
+    movement_hook_({&src == &hbm_, src_addr, &dst == &hbm_, dst_addr, bytes});
+  }
+  return wr.complete;
+}
+
+Tick HybridMemoryController::swap_data(mem::DramDevice& a, Addr a_addr,
+                                       mem::DramDevice& b, Addr b_addr,
+                                       u64 bytes, Tick now,
+                                       mem::TrafficClass cls) {
+  const auto ra = a.access(a_addr, bytes, AccessType::kRead, now, cls);
+  const auto rb = b.access(b_addr, bytes, AccessType::kRead, now, cls);
+  const Tick buffered = std::max(ra.complete, rb.complete);
+  const auto wa = a.access(a_addr, bytes, AccessType::kWrite, buffered, cls);
+  const auto wb = b.access(b_addr, bytes, AccessType::kWrite, buffered, cls);
+  if (movement_hook_) {
+    movement_hook_(
+        {&a == &hbm_, a_addr, &b == &hbm_, b_addr, bytes, /*is_swap=*/true});
+  }
+  return std::max(wa.complete, wb.complete);
+}
+
+DramOnlyController::DramOnlyController(mem::DramDevice& hbm,
+                                       mem::DramDevice& dram,
+                                       PagingConfig paging)
+    : HybridMemoryController(
+          "DRAM-only", hbm, dram,
+          [&] {
+            paging.visible_bytes = dram.capacity();
+            return paging;
+          }()) {}
+
+HmmResult DramOnlyController::service(Addr addr, AccessType type, Tick now) {
+  HmmResult res;
+  // HBM absent: all OS addresses fold into the off-chip DRAM.
+  const Addr phys = addr % dram().capacity();
+  const auto r = dram().access(phys, 64, type, now);
+  res.complete = r.complete;
+  res.served_by_hbm = false;
+  res.phys_addr = phys;
+  return res;
+}
+
+}  // namespace bb::hmm

@@ -1,0 +1,170 @@
+// Hybrid Memory Management Controller (HMMC) framework.
+//
+// Every reproduced design — Bumblebee, the ablations, and the five
+// state-of-the-art baselines — implements this interface. The framework
+// owns the shared concerns so per-design code is pure policy:
+//   * the two DRAM devices (die-stacked HBM + off-chip DRAM),
+//   * OS paging pressure (visible-capacity model),
+//   * the asynchronous data-movement engine (real traffic, no demand stall),
+//   * request/latency/over-fetch accounting.
+//
+// Address convention: requests carry OS-visible flat addresses. The range
+// [0, dram_capacity) maps 1:1 onto off-chip DRAM frames by default and
+// [dram_capacity, dram_capacity + hbm_capacity) onto HBM frames; designs
+// that remap (Bumblebee's PRT, Chameleon's remap table) translate on top of
+// this. Designs whose HBM is invisible to the OS wrap excess addresses
+// into the off-chip range (their paging model then charges faults).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "hmm/metadata.h"
+#include "hmm/paging.h"
+#include "mem/dram_device.h"
+
+namespace bb::hmm {
+
+/// Outcome of one LLC-miss request through a controller.
+struct HmmResult {
+  Tick complete = 0;        ///< when the demand data is available
+  bool served_by_hbm = false;
+  Addr phys_addr = kAddrInvalid;  ///< device-local address that served it
+  Tick metadata_latency = 0;
+  Tick fault_penalty = 0;
+};
+
+/// A physical data copy performed by the data-movement engine. Observed by
+/// the functional-correctness shadow in tests.
+struct MoveEvent {
+  bool src_hbm = false;
+  Addr src_addr = 0;
+  bool dst_hbm = false;
+  Addr dst_addr = 0;
+  u64 bytes = 0;
+  bool is_swap = false;  ///< contents of src and dst exchange atomically
+};
+
+struct HmmStats {
+  u64 requests = 0;
+  u64 reads = 0;
+  u64 writes = 0;
+  u64 hbm_served = 0;   ///< demand requests whose data came from HBM
+  Tick total_latency = 0;
+  Tick total_metadata_latency = 0;
+
+  // Over-fetch accounting: blocks brought into HBM speculatively (fills,
+  // page migrations) vs how many of them were touched before leaving HBM.
+  u64 blocks_fetched = 0;
+  u64 fetched_blocks_used = 0;
+
+  // Structural events (designs increment the ones that apply).
+  u64 migrations = 0;       ///< DRAM->HBM page migrations
+  u64 evictions = 0;        ///< HBM->DRAM page/block evictions
+  u64 mode_switches = 0;    ///< cHBM<->mHBM conversions
+  u64 swaps = 0;            ///< full page swaps
+
+  double hbm_serve_rate() const {
+    return requests ? static_cast<double>(hbm_served) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  double mean_latency_ns() const {
+    return requests ? ticks_to_ns(total_latency) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  /// Fraction of fetched blocks never used before eviction (Section IV-B).
+  double overfetch_fraction() const {
+    return blocks_fetched
+               ? 1.0 - static_cast<double>(fetched_blocks_used) /
+                           static_cast<double>(blocks_fetched)
+               : 0.0;
+  }
+  /// Metadata share of total request latency (Section II-B's MAL).
+  double mal_fraction() const {
+    return total_latency ? static_cast<double>(total_metadata_latency) /
+                               static_cast<double>(total_latency)
+                         : 0.0;
+  }
+};
+
+class HybridMemoryController {
+ public:
+  HybridMemoryController(std::string name, mem::DramDevice& hbm,
+                         mem::DramDevice& dram, const PagingConfig& paging);
+  virtual ~HybridMemoryController() = default;
+
+  HybridMemoryController(const HybridMemoryController&) = delete;
+  HybridMemoryController& operator=(const HybridMemoryController&) = delete;
+
+  /// Handles one LLC-miss request. Applies the paging model, dispatches to
+  /// the design's service() and accounts the result.
+  HmmResult access(Addr addr, AccessType type, Tick now);
+
+  /// Flushes any design-internal buffered state (end of simulation).
+  virtual void drain(Tick now) { (void)now; }
+
+  /// Observer for every physical copy made by move_data (tests use this to
+  /// maintain a functional shadow of both devices).
+  void set_movement_hook(std::function<void(const MoveEvent&)> hook) {
+    movement_hook_ = std::move(hook);
+  }
+
+  /// SRAM bytes this design needs for its metadata structures.
+  virtual u64 metadata_sram_bytes() const = 0;
+
+  const std::string& name() const { return name_; }
+  const HmmStats& stats() const { return stats_; }
+
+  /// Clears accumulated statistics (not design state) — used to exclude
+  /// warmup from measurements.
+  virtual void reset_stats() { stats_ = HmmStats{}; }
+  const PagingModel& paging() const { return paging_; }
+  mem::DramDevice& hbm() { return hbm_; }
+  mem::DramDevice& dram() { return dram_; }
+  const mem::DramDevice& hbm() const { return hbm_; }
+  const mem::DramDevice& dram() const { return dram_; }
+
+ protected:
+  /// Design-specific request handling (paging already applied).
+  virtual HmmResult service(Addr addr, AccessType type, Tick now) = 0;
+
+  /// Asynchronous copy: reads `bytes` at `src_addr` from `src` and writes
+  /// them to `dst`. Consumes real bandwidth on both devices; the returned
+  /// completion tick is informational (demand requests do not wait on it).
+  Tick move_data(mem::DramDevice& src, Addr src_addr, mem::DramDevice& dst,
+                 Addr dst_addr, u64 bytes, Tick now, mem::TrafficClass cls);
+
+  /// Asynchronous exchange of two regions (through a controller buffer):
+  /// reads and writes both sides, emitting a single atomic swap event.
+  Tick swap_data(mem::DramDevice& a, Addr a_addr, mem::DramDevice& b,
+                 Addr b_addr, u64 bytes, Tick now, mem::TrafficClass cls);
+
+  HmmStats& mutable_stats() { return stats_; }
+
+ private:
+  std::string name_;
+  mem::DramDevice& hbm_;
+  mem::DramDevice& dram_;
+  PagingModel paging_;
+  HmmStats stats_;
+  std::function<void(const MoveEvent&)> movement_hook_;
+};
+
+/// The normalization baseline: no HBM at all; every request goes to the
+/// off-chip DRAM. Visible capacity = off-chip DRAM only.
+class DramOnlyController final : public HybridMemoryController {
+ public:
+  DramOnlyController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                     PagingConfig paging);
+
+  u64 metadata_sram_bytes() const override { return 0; }
+
+ protected:
+  HmmResult service(Addr addr, AccessType type, Tick now) override;
+};
+
+}  // namespace bb::hmm

@@ -1,0 +1,48 @@
+#include "hmm/paging.h"
+
+namespace bb::hmm {
+
+PagingModel::PagingModel(const PagingConfig& cfg)
+    : cfg_(cfg),
+      capacity_pages_(cfg.enabled ? cfg.visible_bytes / cfg.os_page_bytes
+                                  : 0) {}
+
+Tick PagingModel::touch(Addr addr) {
+  if (!cfg_.enabled) return 0;
+  const u64 page = addr / cfg_.os_page_bytes;
+
+  const auto it = resident_.find(page);
+  if (it != resident_.end()) {
+    referenced_[it->second] = true;
+    return 0;
+  }
+
+  if (ring_.size() < capacity_pages_) {
+    // Cold (first-touch) fault: page fits, OS just zero-fills it.
+    resident_.emplace(page, static_cast<u32>(ring_.size()));
+    ring_.push_back(page);
+    referenced_.push_back(true);
+    ++stats_.first_touches;
+    return 0;
+  }
+
+  // Capacity fault: run the clock hand until an unreferenced victim appears.
+  for (;;) {
+    if (hand_ >= ring_.size()) hand_ = 0;
+    if (referenced_[hand_]) {
+      referenced_[hand_] = false;
+      ++hand_;
+      continue;
+    }
+    break;
+  }
+  resident_.erase(ring_[hand_]);
+  ring_[hand_] = page;
+  referenced_[hand_] = true;
+  resident_.emplace(page, static_cast<u32>(hand_));
+  ++hand_;
+  ++stats_.faults;
+  return cfg_.fault_penalty;
+}
+
+}  // namespace bb::hmm

@@ -1,0 +1,52 @@
+// OS paging pressure model.
+//
+// POM-style designs make the HBM capacity OS-visible; cache-style designs do
+// not. The paper credits hybrid/POM designs with "more OS-visible memory to
+// reduce page faults" (Section III-E, movement trigger 5). We model this
+// with a resident-set simulation: OS pages (4 KB) become resident on first
+// touch; when the resident set exceeds the design's visible capacity a
+// victim is chosen clock-style and the faulting access pays a fixed penalty
+// (minor-fault / compressed-swap cost, not a disk swap).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bb::hmm {
+
+struct PagingConfig {
+  bool enabled = true;
+  u64 visible_bytes = 10 * GiB;  ///< OS-visible memory capacity
+  u64 os_page_bytes = 4 * KiB;
+  Tick fault_penalty = ns_to_ticks(200.0);
+};
+
+struct PagingStats {
+  u64 faults = 0;        ///< capacity faults (victim evicted + penalty paid)
+  u64 first_touches = 0; ///< cold faults (no penalty; OS zero-fill assumed)
+};
+
+class PagingModel {
+ public:
+  explicit PagingModel(const PagingConfig& cfg);
+
+  /// Touches the OS page containing `addr`; returns the penalty (0 or the
+  /// configured fault penalty) to add to the request latency.
+  Tick touch(Addr addr);
+
+  const PagingStats& stats() const { return stats_; }
+  const PagingConfig& config() const { return cfg_; }
+
+ private:
+  PagingConfig cfg_;
+  u64 capacity_pages_;
+  PagingStats stats_;
+  std::unordered_map<u64, u32> resident_;  ///< page id -> slot in clock ring
+  std::vector<u64> ring_;                  ///< clock ring of resident pages
+  std::vector<bool> referenced_;
+  std::size_t hand_ = 0;
+};
+
+}  // namespace bb::hmm

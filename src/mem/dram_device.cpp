@@ -1,0 +1,163 @@
+#include "mem/dram_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::mem {
+
+DramDevice::DramDevice(DramTimingParams params)
+    : params_(std::move(params)), energy_(params_) {
+  assert(params_.channels > 0);
+  assert(params_.banks_per_channel > 0);
+  assert(is_pow2(params_.interleave_bytes));
+  assert(is_pow2(params_.row_bytes));
+  banks_.resize(static_cast<std::size_t>(params_.channels) *
+                params_.banks_per_channel);
+  bus_ready_.resize(params_.channels, 0);
+  next_refresh_.resize(params_.channels, ns_to_ticks(params_.trefi_ns));
+}
+
+Tick DramDevice::apply_refresh(u32 channel, Tick t) {
+  if (!params_.refresh_enabled) return t;
+  const Tick trefi = ns_to_ticks(params_.trefi_ns);
+  const Tick trfc = ns_to_ticks(params_.trfc_ns);
+  Tick& next = next_refresh_[channel];
+  // Fast-forward long idle stretches: refreshes that completed entirely
+  // during idle time cannot stall anything.
+  if (t > next + trfc) {
+    const u64 skipped = (t - next - trfc) / trefi;
+    stats_.refreshes += skipped;
+    next += skipped * trefi;
+  }
+  while (t >= next) {
+    // The channel's banks are unavailable during the refresh window; any
+    // in-flight state simply resumes afterwards (open rows are closed).
+    const Tick refresh_end = next + trfc;
+    for (u32 b = 0; b < params_.banks_per_channel; ++b) {
+      Bank& bank = banks_[static_cast<std::size_t>(channel) *
+                              params_.banks_per_channel +
+                          b];
+      bank.ready_at = std::max(bank.ready_at, refresh_end);
+      bank.open_row = Bank::kNoRow;  // refresh precharges all banks
+    }
+    ++stats_.refreshes;
+    next += trefi;
+    if (t < refresh_end) t = refresh_end;
+  }
+  return t;
+}
+
+DramDevice::Decoded DramDevice::decode(Addr addr) const {
+  const u64 il = params_.interleave_bytes;
+  const u64 chunk = addr / il;
+  // XOR-fold higher address bits into the channel and bank indexes
+  // (standard controller address hashing, cf. gem5's xor_high_bits and
+  // commercial bank-group hashing). Without it, page-aligned strides —
+  // ubiquitous here because frames are page-sized — alias onto a single
+  // channel/bank and serialize.
+  const u64 ch_hash = chunk ^ (chunk >> 4) ^ (chunk >> 9) ^ (chunk >> 15);
+  const u32 channel = static_cast<u32>(ch_hash % params_.channels);
+  // Address within the channel, with interleaving folded out.
+  const u64 chan_addr = (chunk / params_.channels) * il + (addr % il);
+  const u64 row_index = chan_addr / params_.row_bytes;
+  const u64 bank_hash = row_index ^ (row_index >> 3) ^ (row_index >> 7);
+  const u32 bank = static_cast<u32>(bank_hash % params_.banks_per_channel);
+  const u32 row = static_cast<u32>(row_index / params_.banks_per_channel);
+  return {channel, bank, row};
+}
+
+Tick DramDevice::do_beat(const Decoded& d, AccessType type, Tick now) {
+  Bank& bank = banks_[static_cast<std::size_t>(d.channel) *
+                          params_.banks_per_channel +
+                      d.bank];
+  Tick& bus = bus_ready_[d.channel];
+
+  const Tick tCAS = params_.cycles_to_ticks(params_.tCAS);
+  const Tick tRCD = params_.cycles_to_ticks(params_.tRCD);
+  const Tick tRP = params_.cycles_to_ticks(params_.tRP);
+  const Tick tRAS = params_.cycles_to_ticks(params_.tRAS);
+  const Tick tBURST = params_.burst_ticks();
+
+  Tick t = apply_refresh(d.channel, std::max(now, bank.ready_at));
+  // Bus turnaround: a read command after a write burst on the same bank
+  // waits tWTR; a write after a read waits tRTW.
+  if (type == AccessType::kRead && bank.last_was_write) {
+    t = std::max(t, bank.write_recovery_at);
+  } else if (type == AccessType::kWrite && !bank.last_was_write) {
+    t += params_.cycles_to_ticks(params_.tRTW);
+  }
+  if (bank.open_row == d.row) {
+    ++stats_.row_hits;
+  } else if (bank.open_row == Bank::kNoRow) {
+    ++stats_.row_empty;
+    t += tRCD;
+    bank.act_allowed_at = t - tRCD + tRAS;
+    energy_.on_act_pre();
+  } else {
+    ++stats_.row_misses;
+    // Precharge may not start before tRAS since the previous activate.
+    t = std::max(t, bank.act_allowed_at);
+    t += tRP + tRCD;
+    bank.act_allowed_at = t - tRCD + tRAS;
+    energy_.on_act_pre();
+  }
+  bank.open_row = d.row;
+
+  // Column access: the command issues at t, data appears tCAS later once
+  // the channel data bus is free. Subsequent column commands to the bank
+  // pipeline at tCCD (~ tBURST) — CAS latency overlaps with streaming.
+  const Tick data_start = std::max(t + tCAS, bus);
+  bus = data_start + tBURST;
+  bank.ready_at = t + tBURST;  // tCCD gap to the next column command
+
+  if (type == AccessType::kRead) {
+    energy_.on_read_burst();
+    bank.last_was_write = false;
+  } else {
+    energy_.on_write_burst();
+    bank.last_was_write = true;
+    bank.write_recovery_at =
+        data_start + tBURST + params_.cycles_to_ticks(params_.tWTR);
+  }
+  ++stats_.beats;
+  return data_start + tBURST;
+}
+
+AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
+                                Tick now, TrafficClass cls) {
+  assert(bytes > 0);
+  const u64 beat_bytes = params_.burst_bytes();
+  const Addr first = addr & ~(beat_bytes - 1);
+  const Addr last = (addr + bytes - 1) & ~(beat_bytes - 1);
+
+  AccessResult res;
+  res.start = now;
+  res.complete = now;
+  for (Addr a = first;; a += beat_bytes) {
+    const Tick done = do_beat(decode(a % params_.capacity_bytes), type, now);
+    res.complete = std::max(res.complete, done);
+    if (a == last) break;
+  }
+
+  ++stats_.accesses;
+  const u64 moved = (last - first) + beat_bytes;
+  auto& by_class = (type == AccessType::kRead) ? stats_.read_bytes
+                                               : stats_.write_bytes;
+  by_class[static_cast<std::size_t>(cls)] += moved;
+  return res;
+}
+
+Tick DramDevice::probe_ready(Addr addr, Tick now) const {
+  const Decoded d = decode(addr % params_.capacity_bytes);
+  const Bank& bank = banks_[static_cast<std::size_t>(d.channel) *
+                                params_.banks_per_channel +
+                            d.bank];
+  return std::max({now, bank.ready_at, bus_ready_[d.channel]});
+}
+
+void DramDevice::reset_stats() {
+  stats_ = DramStats{};
+  energy_.reset();
+}
+
+}  // namespace bb::mem

@@ -1,0 +1,141 @@
+// Event-free DRAM device timing model ("DRAMSim-lite").
+//
+// Models, per channel: a shared data bus with burst occupancy; per bank: an
+// open-row FSM with tCAS/tRCD/tRP/tRAS timing under an open-page policy.
+// Requests are decomposed into burst-sized beats (64 B for both presets);
+// each beat contends for its bank and channel bus. The model advances
+// per-resource "ready at" ticks instead of running a global event loop,
+// which is exact for our in-order-per-bank command streams and fast enough
+// to simulate hundreds of millions of beats per minute.
+//
+// Every access is tagged with a TrafficClass so the harnesses can attribute
+// bytes to demand traffic, cache fills, writebacks, migrations or metadata —
+// the split behind Figures 8(b)/8(c).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/energy.h"
+#include "mem/timing.h"
+
+namespace bb::mem {
+
+/// Attribution label for a DRAM access.
+enum class TrafficClass : u8 {
+  kDemand = 0,    ///< LLC-miss data on the critical path
+  kFill,          ///< cache-fill / fetch into HBM
+  kWriteback,     ///< dirty eviction writeback
+  kMigration,     ///< page migration between devices
+  kMetadata,      ///< metadata structures stored in DRAM/HBM
+  kCount,
+};
+
+constexpr const char* to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kDemand: return "demand";
+    case TrafficClass::kFill: return "fill";
+    case TrafficClass::kWriteback: return "writeback";
+    case TrafficClass::kMigration: return "migration";
+    case TrafficClass::kMetadata: return "metadata";
+    default: return "?";
+  }
+}
+
+inline constexpr std::size_t kTrafficClassCount =
+    static_cast<std::size_t>(TrafficClass::kCount);
+
+struct DramStats {
+  u64 accesses = 0;
+  u64 beats = 0;
+  u64 row_hits = 0;
+  u64 row_misses = 0;   ///< row conflict (precharge + activate)
+  u64 row_empty = 0;    ///< bank closed (activate only)
+  u64 refreshes = 0;    ///< per-channel refresh windows taken
+  std::array<u64, kTrafficClassCount> read_bytes{};
+  std::array<u64, kTrafficClassCount> write_bytes{};
+
+  u64 total_read_bytes() const {
+    u64 s = 0;
+    for (u64 b : read_bytes) s += b;
+    return s;
+  }
+  u64 total_write_bytes() const {
+    u64 s = 0;
+    for (u64 b : write_bytes) s += b;
+    return s;
+  }
+  u64 total_bytes() const { return total_read_bytes() + total_write_bytes(); }
+
+  double row_hit_rate() const {
+    const u64 n = row_hits + row_misses + row_empty;
+    return n ? static_cast<double>(row_hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+/// Result of a single (possibly multi-beat) access.
+struct AccessResult {
+  Tick start = 0;     ///< when the first command could issue
+  Tick complete = 0;  ///< when the last data beat finishes
+  Tick latency() const { return complete - start; }
+};
+
+class DramDevice {
+ public:
+  explicit DramDevice(DramTimingParams params);
+
+  DramDevice(const DramDevice&) = delete;
+  DramDevice& operator=(const DramDevice&) = delete;
+
+  /// Performs an access of `bytes` bytes at `addr`, issued no earlier than
+  /// `now`. Splits into burst beats internally. Returns completion timing.
+  AccessResult access(Addr addr, u64 bytes, AccessType type, Tick now,
+                      TrafficClass cls = TrafficClass::kDemand);
+
+  /// Earliest tick at which a new beat at `addr` could deliver data — a
+  /// contention probe that does not mutate any state.
+  Tick probe_ready(Addr addr, Tick now) const;
+
+  const DramTimingParams& params() const { return params_; }
+  const DramStats& stats() const { return stats_; }
+  const EnergyModel& energy() const { return energy_; }
+  u64 capacity() const { return params_.capacity_bytes; }
+
+  /// Clears statistics (bank/bus state is retained).
+  void reset_stats();
+
+ private:
+  struct Bank {
+    u32 open_row = kNoRow;
+    Tick ready_at = 0;      ///< earliest tick the bank accepts a command
+    Tick act_allowed_at = 0;  ///< honors tRAS before the next precharge
+    Tick write_recovery_at = 0;  ///< honors tWTR after the last write burst
+    bool last_was_write = false;
+    static constexpr u32 kNoRow = ~u32{0};
+  };
+
+  struct Decoded {
+    u32 channel;
+    u32 bank;
+    u32 row;
+  };
+
+  Decoded decode(Addr addr) const;
+
+  /// Times one beat through its bank and channel bus; returns data-done tick.
+  Tick do_beat(const Decoded& d, AccessType type, Tick now);
+
+  /// Applies any refresh windows that elapsed before `t` on the channel.
+  Tick apply_refresh(u32 channel, Tick t);
+
+  DramTimingParams params_;
+  std::vector<Bank> banks_;          // channels * banks_per_channel
+  std::vector<Tick> bus_ready_;      // per channel
+  std::vector<Tick> next_refresh_;   // per channel
+  DramStats stats_;
+  EnergyModel energy_;
+};
+
+}  // namespace bb::mem

@@ -1,0 +1,81 @@
+// IDD/VDD-based DRAM energy accounting (DRAMPower-style, simplified).
+//
+// Dynamic energy is accumulated per command:
+//   ACT+PRE pair: VDD * (IDD0*tRC - (IDD3N*tRAS + IDD2N*(tRC-tRAS)))
+//   RD burst:     VDD * (IDD4R - IDD3N) * tBURST
+//   WR burst:     VDD * (IDD4W - IDD3N) * tBURST
+// with currents in mA and times in ns, giving picojoules.
+//
+// Background (static) energy is estimated post-hoc from elapsed wall time as
+// VDD * IDD3N * T per channel; the paper reports *dynamic* energy, which is
+// what the figure harnesses use, but both are exposed.
+#pragma once
+
+#include "common/types.h"
+#include "mem/timing.h"
+
+namespace bb::mem {
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(const DramTimingParams& p) : p_(&p) {}
+
+  void on_act_pre() { ++acts_; }
+  void on_read_burst() { ++rd_bursts_; }
+  void on_write_burst() { ++wr_bursts_; }
+
+  u64 act_count() const { return acts_; }
+  u64 read_burst_count() const { return rd_bursts_; }
+  u64 write_burst_count() const { return wr_bursts_; }
+
+  /// Dynamic energy so far, picojoules (all devices of a channel act
+  /// and burst together).
+  double dynamic_pj() const {
+    return (static_cast<double>(acts_) * act_pre_pj() +
+            static_cast<double>(rd_bursts_) * read_burst_pj() +
+            static_cast<double>(wr_bursts_) * write_burst_pj()) *
+           static_cast<double>(p_->devices_per_channel);
+  }
+
+  /// Background energy estimate for `elapsed` simulated time, picojoules.
+  double background_pj(Tick elapsed) const {
+    const double t_ns = ticks_to_ns(elapsed);
+    return p_->vdd * p_->idd3n * t_ns * static_cast<double>(p_->channels) *
+           static_cast<double>(p_->devices_per_channel);
+  }
+
+  /// Energy of one ACT/PRE pair, picojoules.
+  double act_pre_pj() const {
+    const double trc_ns = p_->tck_ns * static_cast<double>(p_->tRAS + p_->tRP);
+    const double tras_ns = p_->tck_ns * static_cast<double>(p_->tRAS);
+    const double trp_ns = trc_ns - tras_ns;
+    return p_->vdd *
+           (p_->idd0 * trc_ns - (p_->idd3n * tras_ns + p_->idd2n * trp_ns));
+  }
+
+  /// Energy of one read burst, picojoules.
+  double read_burst_pj() const {
+    return p_->vdd * (p_->idd4r - p_->idd3n) * ticks_to_ns(p_->burst_ticks());
+  }
+
+  /// Energy of one write burst, picojoules.
+  double write_burst_pj() const {
+    return p_->vdd * (p_->idd4w - p_->idd3n) * ticks_to_ns(p_->burst_ticks());
+  }
+
+  /// Energy of one refresh window, picojoules (reported separately from
+  /// dynamic energy — the paper counts refresh with static energy).
+  double refresh_pj() const {
+    return p_->vdd * (p_->idd5 - p_->idd2n) * p_->trfc_ns;
+  }
+
+  void reset() { acts_ = rd_bursts_ = wr_bursts_ = 0; }
+
+ private:
+  const DramTimingParams* p_;
+  u64 acts_ = 0;
+  u64 rd_bursts_ = 0;
+  u64 wr_bursts_ = 0;
+};
+
+}  // namespace bb::mem

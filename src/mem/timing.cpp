@@ -1,0 +1,62 @@
+#include "mem/timing.h"
+
+namespace bb::mem {
+
+DramTimingParams DramTimingParams::hbm2_1gb() {
+  DramTimingParams p;
+  p.name = "HBM2";
+  p.capacity_bytes = 1 * GiB;
+  p.channels = 8;
+  p.banks_per_channel = 8;
+  p.bus_bits = 128;
+  p.interleave_bytes = 512;
+  p.row_bytes = 2 * KiB;
+  p.burst_length = 4;  // 128-bit bus * BL4 = 64 B per column command
+  p.tck_ns = 1.0;      // 2 Gbps/pin HBM2 class
+  p.tCAS = 7;
+  p.tRCD = 7;
+  p.tRP = 7;
+  p.tRAS = 17;
+  p.vdd = 1.2;
+  p.idd0 = 65;
+  p.idd2p = 28;
+  p.idd2n = 40;
+  p.idd3p = 40;
+  p.idd3n = 55;
+  p.idd4w = 500;
+  p.idd4r = 390;
+  p.idd5 = 250;
+  p.idd6 = 31;
+  return p;
+}
+
+DramTimingParams DramTimingParams::ddr4_3200_10gb() {
+  DramTimingParams p;
+  p.name = "DDR4-3200";
+  p.capacity_bytes = 10 * GiB;
+  p.channels = 2;
+  p.banks_per_channel = 8;
+  p.bus_bits = 64;
+  p.interleave_bytes = 4 * KiB;
+  p.row_bytes = 8 * KiB;
+  p.burst_length = 8;  // 64-bit bus * BL8 = 64 B per column command
+  p.tck_ns = 0.625;    // 3200 MT/s
+  p.devices_per_channel = 8;  // eight x8 chips per 64-bit channel
+  p.tCAS = 22;
+  p.tRCD = 22;
+  p.tRP = 22;
+  p.tRAS = 52;
+  p.vdd = 1.2;
+  p.idd0 = 52;
+  p.idd2p = 25;
+  p.idd2n = 37;
+  p.idd3p = 38;
+  p.idd3n = 47;
+  p.idd4w = 130;
+  p.idd4r = 143;
+  p.idd5 = 250;
+  p.idd6 = 30;
+  return p;
+}
+
+}  // namespace bb::mem

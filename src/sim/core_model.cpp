@@ -1,0 +1,157 @@
+#include "sim/core_model.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace bb::sim {
+
+CoreModel::CoreModel(const CoreParams& params) : params_(params) {
+  // base CPI in picoseconds per instruction, kept as a rational so long
+  // runs accumulate no floating-point drift: cpi / freq_ghz ns/inst.
+  const double ps_per_inst = params_.base_cpi / params_.freq_ghz * 1000.0;
+  cpi_ticks_num_ = static_cast<Tick>(ps_per_inst * 1024.0 + 0.5);
+  cpi_ticks_den_ = 1024;
+}
+
+namespace {
+
+/// Per-core replay state: its own trace stream, clock, and ROB.
+struct CoreState {
+  std::unique_ptr<trace::TraceGenerator> gen;
+  Tick now = 0;
+  u64 inst = 0;
+  std::deque<std::pair<u64, Tick>> rob;  ///< (inst at issue, completion)
+};
+
+}  // namespace
+
+CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
+                          u64 target_instructions,
+                          hmm::HybridMemoryController& hmmc,
+                          u64 warmup_instructions) {
+  CoreResult res;
+  const u32 n = std::max<u32>(1, params_.cores);
+  std::vector<CoreState> cores(n);
+  for (u32 c = 0; c < n; ++c) {
+    cores[c].gen = std::make_unique<trace::TraceGenerator>(
+        profile, seed + 0x1000003ULL * c);
+  }
+
+  u64 total_inst = 0;
+  u64 measured_misses = 0;
+  u64 inst_at_reset = 0;
+  Tick tick_at_reset = 0;
+  bool warm = warmup_instructions == 0;
+  const u64 end_inst = target_instructions + warmup_instructions;
+  while (total_inst < end_inst) {
+    if (!warm && total_inst >= warmup_instructions) {
+      warm = true;
+      inst_at_reset = total_inst;
+      for (const auto& core : cores) {
+        tick_at_reset = std::max(tick_at_reset, core.now);
+      }
+      hmmc.reset_stats();
+      hmmc.hbm().reset_stats();
+      hmmc.dram().reset_stats();
+      measured_misses = 0;
+    }
+    // Advance the core that is furthest behind in simulated time, so
+    // requests reach the memory system in (approximate) time order.
+    u32 next = 0;
+    for (u32 c = 1; c < n; ++c) {
+      if (cores[c].now < cores[next].now) next = c;
+    }
+    CoreState& core = cores[next];
+
+    const trace::TraceRecord rec = core.gen->next();
+    total_inst += rec.inst_gap;
+
+    // Advance through the gap in segments bounded by ROB retirement: the
+    // core may run only rob_window instructions past the oldest
+    // outstanding miss, so an isolated miss exposes (almost) its full
+    // latency instead of hiding behind the next gap.
+    u64 remaining = rec.inst_gap;
+    while (!core.rob.empty()) {
+      const u64 stall_inst =
+          core.rob.front().first + params_.rob_window;
+      if (core.inst + remaining <= stall_inst) break;
+      const u64 adv = stall_inst > core.inst ? stall_inst - core.inst : 0;
+      core.inst += adv;
+      remaining -= adv;
+      core.now += adv * cpi_ticks_num_ / cpi_ticks_den_;
+      core.now = std::max(core.now, core.rob.front().second);
+      core.rob.pop_front();
+    }
+    core.inst += remaining;
+    core.now += remaining * cpi_ticks_num_ / cpi_ticks_den_;
+
+    // MSHR/MLP limit.
+    if (core.rob.size() >= params_.mlp) {
+      core.now = std::max(core.now, core.rob.front().second);
+      core.rob.pop_front();
+    }
+
+    const Tick issue = core.now + params_.hierarchy_latency;
+    const auto r = hmmc.access(rec.addr, rec.type, issue);
+    core.rob.push_back({core.inst, r.complete});
+    ++measured_misses;
+  }
+
+  Tick end = 0;
+  for (auto& core : cores) {
+    for (const auto& o : core.rob) core.now = std::max(core.now, o.second);
+    end = std::max(end, core.now);
+  }
+  hmmc.drain(end);
+
+  res.instructions = total_inst - inst_at_reset;
+  res.misses = measured_misses;
+  res.elapsed = end - tick_at_reset;
+  return res;
+}
+
+CoreResult CoreModel::run(trace::TraceGenerator& gen, u64 target_instructions,
+                          hmm::HybridMemoryController& hmmc) {
+  CoreResult res;
+  Tick now = 0;
+  u64 inst = 0;
+  std::deque<Outstanding> rob;
+
+  while (inst < target_instructions) {
+    const trace::TraceRecord rec = gen.next();
+
+    u64 remaining = rec.inst_gap;
+    while (!rob.empty()) {
+      const u64 stall_inst = rob.front().inst + params_.rob_window;
+      if (inst + remaining <= stall_inst) break;
+      const u64 adv = stall_inst > inst ? stall_inst - inst : 0;
+      inst += adv;
+      remaining -= adv;
+      now += adv * cpi_ticks_num_ / cpi_ticks_den_;
+      now = std::max(now, rob.front().done);
+      rob.pop_front();
+    }
+    inst += remaining;
+    now += remaining * cpi_ticks_num_ / cpi_ticks_den_;
+
+    if (rob.size() >= params_.mlp) {
+      now = std::max(now, rob.front().done);
+      rob.pop_front();
+    }
+
+    const Tick issue = now + params_.hierarchy_latency;
+    const auto r = hmmc.access(rec.addr, rec.type, issue);
+    rob.push_back({inst, r.complete});
+    ++res.misses;
+  }
+
+  for (const auto& o : rob) now = std::max(now, o.done);
+  hmmc.drain(now);
+
+  res.instructions = inst;
+  res.elapsed = now;
+  return res;
+}
+
+}  // namespace bb::sim

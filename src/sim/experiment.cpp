@@ -1,0 +1,73 @@
+#include "sim/experiment.h"
+
+#include <map>
+#include <ostream>
+
+#include "common/table.h"
+
+namespace bb::sim {
+
+ExperimentRunner::ExperimentRunner(SystemConfig cfg) : cfg_(std::move(cfg)) {}
+
+void ExperimentRunner::run_matrix(
+    const std::vector<std::string>& designs,
+    const std::vector<trace::WorkloadProfile>& workloads, u64 target_misses,
+    std::function<void(const RunResult&)> on_result, u64 min_instructions,
+    u64 max_instructions) {
+  System system(cfg_);
+  for (const auto& w : workloads) {
+    const u64 instr = default_instructions_for(
+        w, target_misses, min_instructions, max_instructions);
+    for (const auto& d : designs) {
+      RunResult r = system.run(d, w, instr);
+      if (on_result) on_result(r);
+      results_.push_back(std::move(r));
+    }
+  }
+}
+
+std::vector<RunResult> ExperimentRunner::for_design(
+    const std::string& design) const {
+  std::vector<RunResult> out;
+  for (const auto& r : results_) {
+    if (r.design == design) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
+    const std::string& design, const std::string& baseline_design,
+    double (*metric)(const RunResult&)) const {
+  std::map<std::string, double> base;
+  for (const auto& r : results_) {
+    if (r.design == baseline_design) base[r.workload] = metric(r);
+  }
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& r : results_) {
+    if (r.design != design) continue;
+    const auto it = base.find(r.workload);
+    if (it == base.end() || it->second <= 0) continue;
+    out.emplace_back(r.workload, metric(r) / it->second);
+  }
+  return out;
+}
+
+void ExperimentRunner::write_csv(std::ostream& os) const {
+  TextTable t({"design", "workload", "instructions", "misses", "ipc",
+               "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
+               "mean_latency_ns", "mal_fraction", "overfetch",
+               "page_faults", "metadata_sram_bytes"});
+  for (const auto& r : results_) {
+    t.add_row({r.design, r.workload, std::to_string(r.instructions),
+               std::to_string(r.misses), fmt_double(r.ipc, 4),
+               std::to_string(r.hbm_bytes), std::to_string(r.dram_bytes),
+               fmt_double(r.energy_mj, 4), fmt_double(r.hbm_serve_rate, 4),
+               fmt_double(r.mean_latency_ns, 2),
+               fmt_double(r.mal_fraction, 4), fmt_double(r.overfetch, 4),
+               std::to_string(r.page_faults),
+               std::to_string(r.metadata_sram_bytes)});
+  }
+  t.print_csv(os);
+}
+
+}  // namespace bb::sim

@@ -1,0 +1,51 @@
+// Experiment runner: executes (design x workload) matrices, accumulates
+// RunResults, and exports them as aligned text or CSV. The bench harnesses
+// use it for their sweeps; downstream users get machine-readable results
+// for plotting.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+
+namespace bb::sim {
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(SystemConfig cfg = SystemConfig{});
+
+  /// Runs every (design, workload) pair. `instructions_for` may be null to
+  /// use default_instructions_for with the given target misses.
+  void run_matrix(const std::vector<std::string>& designs,
+                  const std::vector<trace::WorkloadProfile>& workloads,
+                  u64 target_misses = 200'000,
+                  std::function<void(const RunResult&)> on_result = nullptr,
+                  u64 min_instructions = 50'000'000,
+                  u64 max_instructions = 400'000'000);
+
+  /// Adds a single externally produced result.
+  void add(const RunResult& r) { results_.push_back(r); }
+
+  const std::vector<RunResult>& results() const { return results_; }
+
+  /// All results for one design, in insertion order.
+  std::vector<RunResult> for_design(const std::string& design) const;
+
+  /// Results normalized per-workload against `baseline_design`'s rows;
+  /// `metric` picks the value. Missing baseline rows are skipped.
+  std::vector<std::pair<std::string, double>> normalized(
+      const std::string& design, const std::string& baseline_design,
+      double (*metric)(const RunResult&)) const;
+
+  /// Writes every result as CSV (one row per run, fixed column set).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  SystemConfig cfg_;
+  std::vector<RunResult> results_;
+};
+
+}  // namespace bb::sim

@@ -1,0 +1,157 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+#include "bumblebee/controller.h"
+#include "common/stats.h"
+
+namespace bb::sim {
+
+System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {}
+
+RunResult System::run(const std::string& design,
+                      const trace::WorkloadProfile& workload,
+                      u64 instructions) {
+  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
+  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  hmmc_ = baselines::make_design(design, *hbm_, *dram_, cfg_.paging);
+  return run_current(workload, instructions);
+}
+
+RunResult System::run_bumblebee(const bumblebee::BumblebeeConfig& cfg,
+                                const trace::WorkloadProfile& workload,
+                                u64 instructions) {
+  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
+  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  hmmc_ = std::make_unique<bumblebee::BumblebeeController>(cfg, *hbm_, *dram_,
+                                                           cfg_.paging);
+  return run_current(workload, instructions);
+}
+
+RunResult System::run_current(const trace::WorkloadProfile& workload,
+                              u64 instructions) {
+
+  CoreModel core(cfg_.core);
+  const u64 warmup = static_cast<u64>(
+      cfg_.warmup_ratio * static_cast<double>(instructions));
+  const CoreResult cr =
+      core.run(workload, cfg_.seed, instructions, *hmmc_, warmup);
+
+  RunResult out;
+  out.design = hmmc_->name();
+  out.workload = workload.name;
+  out.instructions = cr.instructions;
+  out.misses = cr.misses;
+  out.ipc = cr.ipc(cfg_.core.freq_ghz);
+
+  const auto& hs = hbm_->stats();
+  const auto& ds = dram_->stats();
+  out.hbm_bytes = hs.total_bytes();
+  out.dram_bytes = ds.total_bytes();
+  for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
+    out.hbm_class_bytes[c] = hs.read_bytes[c] + hs.write_bytes[c];
+    out.dram_class_bytes[c] = ds.read_bytes[c] + ds.write_bytes[c];
+  }
+  out.energy_mj =
+      (hbm_->energy().dynamic_pj() + dram_->energy().dynamic_pj()) * 1e-9;
+
+  const auto& ms = hmmc_->stats();
+  out.hbm_serve_rate = ms.hbm_serve_rate();
+  out.mean_latency_ns = ms.mean_latency_ns();
+  out.mal_fraction = ms.mal_fraction();
+  out.overfetch = ms.overfetch_fraction();
+  out.page_faults = hmmc_->paging().stats().faults;
+  out.metadata_sram_bytes = hmmc_->metadata_sram_bytes();
+  return out;
+}
+
+GroupedMetric group_by_mpki(const std::vector<RunResult>& results,
+                            const std::vector<RunResult>& baseline,
+                            double (*metric)(const RunResult&)) {
+  std::map<std::string, const RunResult*> base_by_workload;
+  for (const auto& b : baseline) base_by_workload[b.workload] = &b;
+
+  std::vector<double> high, medium, low, all;
+  for (const auto& r : results) {
+    const auto it = base_by_workload.find(r.workload);
+    if (it == base_by_workload.end()) continue;
+    const double denom = metric(*it->second);
+    if (denom <= 0) continue;
+    const double v = metric(r) / denom;
+    const auto& prof = trace::WorkloadProfile::by_name(r.workload);
+    switch (prof.mpki_class) {
+      case trace::MpkiClass::kHigh: high.push_back(v); break;
+      case trace::MpkiClass::kMedium: medium.push_back(v); break;
+      case trace::MpkiClass::kLow: low.push_back(v); break;
+    }
+    all.push_back(v);
+  }
+  GroupedMetric g;
+  g.high = geomean(high);
+  g.medium = geomean(medium);
+  g.low = geomean(low);
+  g.all = geomean(all);
+  return g;
+}
+
+GroupedMetric group_by_mpki_sums(const std::vector<RunResult>& results,
+                                 const std::vector<RunResult>& baseline,
+                                 double (*metric)(const RunResult&)) {
+  std::map<std::string, const RunResult*> base_by_workload;
+  for (const auto& b : baseline) base_by_workload[b.workload] = &b;
+
+  double num[4] = {0, 0, 0, 0};  // high, medium, low, all
+  double den[4] = {0, 0, 0, 0};
+  for (const auto& r : results) {
+    const auto it = base_by_workload.find(r.workload);
+    if (it == base_by_workload.end()) continue;
+    const auto& prof = trace::WorkloadProfile::by_name(r.workload);
+    const int g = prof.mpki_class == trace::MpkiClass::kHigh     ? 0
+                  : prof.mpki_class == trace::MpkiClass::kMedium ? 1
+                                                                 : 2;
+    num[g] += metric(r);
+    den[g] += metric(*it->second);
+    num[3] += metric(r);
+    den[3] += metric(*it->second);
+  }
+  GroupedMetric out;
+  out.high = den[0] > 0 ? num[0] / den[0] : 0;
+  out.medium = den[1] > 0 ? num[1] / den[1] : 0;
+  out.low = den[2] > 0 ? num[2] / den[2] : 0;
+  out.all = den[3] > 0 ? num[3] / den[3] : 0;
+  return out;
+}
+
+double metric_ipc(const RunResult& r) { return r.ipc; }
+double metric_hbm_traffic(const RunResult& r) {
+  return static_cast<double>(r.hbm_bytes);
+}
+double metric_dram_traffic(const RunResult& r) {
+  return static_cast<double>(r.dram_bytes);
+}
+double metric_energy(const RunResult& r) { return r.energy_mj; }
+
+u64 default_instructions_for(const trace::WorkloadProfile& w,
+                             u64 target_misses, u64 min_instructions,
+                             u64 max_instructions) {
+  const double inst =
+      static_cast<double>(target_misses) * 1000.0 / w.mpki;
+  u64 budget = static_cast<u64>(inst);
+  budget = std::clamp(budget, min_instructions, max_instructions);
+  const u64 scale_pct = env_u64("BB_SIM_SCALE", 100);
+  budget = budget * scale_pct / 100;
+  return std::max<u64>(budget, 1'000'000);
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<u64>(parsed);
+}
+
+}  // namespace bb::sim

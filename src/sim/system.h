@@ -1,0 +1,144 @@
+// Full-system assembly and experiment runner.
+//
+// A System owns the two DRAM devices (Table I presets by default) and one
+// memory-system design, replays a calibrated synthetic workload through the
+// core model, and extracts every metric the paper's evaluation reports:
+// IPC, HBM / off-chip traffic (with per-class split), memory dynamic
+// energy, HBM serve rate, metadata access latency share, over-fetch
+// fraction and page-fault counts.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/factory.h"
+#include "bumblebee/config.h"
+#include "hmm/controller.h"
+#include "mem/dram_device.h"
+#include "sim/core_model.h"
+#include "trace/generator.h"
+#include "trace/workload.h"
+
+namespace bb::sim {
+
+struct SystemConfig {
+  mem::DramTimingParams hbm = mem::DramTimingParams::hbm2_1gb();
+  mem::DramTimingParams dram = mem::DramTimingParams::ddr4_3200_10gb();
+  CoreParams core;
+  hmm::PagingConfig paging;
+  u64 seed = 42;
+  /// Warmup length as a fraction of the measured instruction count; stats
+  /// are reset when warmup ends so results are steady-state (the paper
+  /// simulates billions of instructions per SimPoint slice).
+  double warmup_ratio = 1.0;
+};
+
+/// Everything measured from one (design, workload) simulation.
+struct RunResult {
+  std::string design;
+  std::string workload;
+
+  u64 instructions = 0;
+  u64 misses = 0;
+  double ipc = 0;
+
+  u64 hbm_bytes = 0;        ///< total HBM traffic
+  u64 dram_bytes = 0;       ///< total off-chip traffic
+  double energy_mj = 0;     ///< memory dynamic energy, millijoules
+  double hbm_serve_rate = 0;
+  double mean_latency_ns = 0;
+  double mal_fraction = 0;  ///< metadata share of request latency
+  double overfetch = 0;     ///< unused fraction of fetched blocks
+  u64 page_faults = 0;
+  u64 metadata_sram_bytes = 0;
+
+  // Per-class traffic split (indexes follow mem::TrafficClass).
+  std::array<u64, mem::kTrafficClassCount> hbm_class_bytes{};
+  std::array<u64, mem::kTrafficClassCount> dram_class_bytes{};
+};
+
+class System {
+ public:
+  explicit System(SystemConfig cfg = SystemConfig{});
+
+  /// Runs `design` on `workload` for `instructions` retired instructions.
+  /// Each call constructs fresh devices and controller (no state leaks
+  /// between runs).
+  RunResult run(const std::string& design,
+                const trace::WorkloadProfile& workload, u64 instructions);
+
+  /// Runs a custom Bumblebee configuration (design-space exploration).
+  RunResult run_bumblebee(const bumblebee::BumblebeeConfig& cfg,
+                          const trace::WorkloadProfile& workload,
+                          u64 instructions);
+
+  /// Access to the most recent run's controller (inspection in tests and
+  /// harnesses; invalidated by the next run()).
+  hmm::HybridMemoryController* last_controller() { return hmmc_.get(); }
+  mem::DramDevice* last_hbm() { return hbm_.get(); }
+  mem::DramDevice* last_dram() { return dram_.get(); }
+
+  const SystemConfig& config() const { return cfg_; }
+
+ private:
+  RunResult run_current(const trace::WorkloadProfile& workload,
+                        u64 instructions);
+
+  SystemConfig cfg_;
+  std::unique_ptr<mem::DramDevice> hbm_;
+  std::unique_ptr<mem::DramDevice> dram_;
+  std::unique_ptr<hmm::HybridMemoryController> hmmc_;
+};
+
+/// Normalizes a metric against the "DRAM-only" row of the same workload.
+/// Results without a baseline row are returned unchanged.
+struct NormalizedSeries {
+  std::vector<std::string> workloads;
+  std::vector<double> values;
+  double geomean = 0;
+};
+
+/// Groups run results by MPKI class and computes per-group geomeans of
+/// `metric(result) / metric(baseline_result)`.
+struct GroupedMetric {
+  double high = 0;
+  double medium = 0;
+  double low = 0;
+  double all = 0;
+};
+
+GroupedMetric group_by_mpki(
+    const std::vector<RunResult>& results,
+    const std::vector<RunResult>& baseline,
+    double (*metric)(const RunResult&));
+
+/// Like group_by_mpki but computes ratio-of-sums per group instead of a
+/// geomean of per-workload ratios. Use for traffic/energy, where a
+/// workload can legitimately measure zero (e.g. a fully HBM-resident
+/// footprint produces no off-chip traffic) and a geomean would collapse.
+GroupedMetric group_by_mpki_sums(
+    const std::vector<RunResult>& results,
+    const std::vector<RunResult>& baseline,
+    double (*metric)(const RunResult&));
+
+// Common metric extractors for group_by_mpki.
+double metric_ipc(const RunResult& r);
+double metric_hbm_traffic(const RunResult& r);
+double metric_dram_traffic(const RunResult& r);
+double metric_energy(const RunResult& r);
+
+/// Reads an unsigned environment override (e.g. BB_INSTRUCTIONS), falling
+/// back to `fallback` when unset or unparsable.
+u64 env_u64(const char* name, u64 fallback);
+
+/// Picks a per-workload instruction budget that yields roughly
+/// `target_misses` LLC misses (low-MPKI workloads need more instructions
+/// for a statistically meaningful miss sample), clamped to [min, max].
+/// `BB_SIM_SCALE` (percent, default 100) scales the result for quick runs.
+u64 default_instructions_for(const trace::WorkloadProfile& w,
+                             u64 target_misses = 200'000,
+                             u64 min_instructions = 20'000'000,
+                             u64 max_instructions = 400'000'000);
+
+}  // namespace bb::sim

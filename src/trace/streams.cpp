@@ -1,0 +1,63 @@
+#include "trace/streams.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bb::trace {
+
+PointerChaseStream::PointerChaseStream(u64 working_set_bytes, u64 seed,
+                                       Addr base)
+    : base_(base) {
+  const u64 lines = std::max<u64>(2, working_set_bytes / kLineBytes);
+  assert(lines <= ~u32{0} && "working set too large for u32 line indexes");
+  // Sattolo's algorithm: a uniform random single-cycle permutation, so the
+  // chase visits every line exactly once per lap.
+  std::vector<u32> order(static_cast<std::size_t>(lines));
+  for (u64 i = 0; i < lines; ++i) order[static_cast<std::size_t>(i)] =
+      static_cast<u32>(i);
+  Rng rng(seed);
+  for (u64 i = lines - 1; i > 0; --i) {
+    const u64 j = rng.next_below(i);  // j < i: guarantees one cycle
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(j)]);
+  }
+  next_line_.assign(static_cast<std::size_t>(lines), 0);
+  for (u64 i = 0; i + 1 < lines; ++i) {
+    next_line_[order[static_cast<std::size_t>(i)]] =
+        order[static_cast<std::size_t>(i + 1)];
+  }
+  next_line_[order[static_cast<std::size_t>(lines - 1)]] = order[0];
+  cursor_ = order[0];
+}
+
+Addr PointerChaseStream::next() {
+  const Addr a = base_ + static_cast<Addr>(cursor_) * kLineBytes;
+  cursor_ = next_line_[cursor_];
+  return a;
+}
+
+PhasedGenerator::PhasedGenerator(std::vector<Phase> phases, u64 seed)
+    : phases_(std::move(phases)), seed_(seed) {
+  advance_phase();
+}
+
+void PhasedGenerator::advance_phase() {
+  gen_.reset();
+  while (phase_ < phases_.size() && phases_[phase_].misses == 0) ++phase_;
+  if (phase_ >= phases_.size()) return;
+  gen_ = std::make_unique<TraceGenerator>(
+      phases_[phase_].profile, seed_ + 0x9e3779b9ULL * (phase_ + 1));
+  remaining_ = phases_[phase_].misses;
+}
+
+TraceRecord PhasedGenerator::next() {
+  if (!gen_) return TraceRecord{1, 0, AccessType::kRead};
+  const TraceRecord rec = gen_->next();
+  if (--remaining_ == 0) {
+    ++phase_;
+    advance_phase();
+  }
+  return rec;
+}
+
+}  // namespace bb::trace

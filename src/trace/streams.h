@@ -1,0 +1,90 @@
+// Additional access-stream building blocks beyond the SPEC-profile mixture:
+//
+//   * PointerChaseStream — walks a random-permutation cycle over a working
+//     set (the classic latency-bound, prefetch-hostile pattern of mcf-like
+//     pointer code);
+//   * StridedStream — constant-stride sweeps (column-major matrix walks,
+//     strided stencils) with configurable stride and wrap;
+//   * PhasedGenerator — concatenates workload phases, each its own profile
+//     and length, to study how controllers adapt to locality changes
+//     (the adjustable cHBM:mHBM ratio is exactly about this).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/generator.h"
+
+namespace bb::trace {
+
+/// Uniform-random permutation cycle: every element of the working set is
+/// visited exactly once per lap, in a data-dependent random order.
+class PointerChaseStream {
+ public:
+  /// `working_set_bytes` is rounded down to whole 64 B lines (at least 2).
+  PointerChaseStream(u64 working_set_bytes, u64 seed, Addr base = 0);
+
+  /// Next address in the chase.
+  Addr next();
+
+  u64 lines() const { return static_cast<u64>(next_line_.size()); }
+
+ private:
+  Addr base_;
+  std::vector<u32> next_line_;  ///< permutation: line -> successor line
+  u32 cursor_ = 0;
+};
+
+/// Constant-stride sweep over a region.
+class StridedStream {
+ public:
+  StridedStream(u64 region_bytes, u64 stride_bytes, Addr base = 0)
+      : base_(base),
+        region_(region_bytes),
+        stride_(stride_bytes == 0 ? 64 : stride_bytes) {}
+
+  Addr next() {
+    const Addr a = base_ + cursor_;
+    cursor_ += stride_;
+    if (cursor_ >= region_) cursor_ %= stride_;  // rotate starting lane
+    return a;
+  }
+
+ private:
+  Addr base_;
+  u64 region_;
+  u64 stride_;
+  u64 cursor_ = 0;
+};
+
+/// A workload phase: a profile and how many misses it lasts.
+struct Phase {
+  WorkloadProfile profile;
+  u64 misses = 0;
+};
+
+/// Concatenates phases; each phase runs its own TraceGenerator (seeded
+/// deterministically from the top-level seed and the phase index).
+class PhasedGenerator {
+ public:
+  PhasedGenerator(std::vector<Phase> phases, u64 seed);
+
+  TraceRecord next();
+
+  /// Index of the phase the NEXT record will come from.
+  std::size_t current_phase() const { return phase_; }
+  bool exhausted() const { return phase_ >= phases_.size(); }
+
+ private:
+  void advance_phase();
+
+  std::vector<Phase> phases_;
+  u64 seed_;
+  std::size_t phase_ = 0;
+  u64 remaining_ = 0;
+  std::unique_ptr<TraceGenerator> gen_;
+};
+
+}  // namespace bb::trace

@@ -1,0 +1,72 @@
+// Synthetic workload profiles calibrated to Table II of the paper.
+//
+// The paper evaluates SimPoint slices of SPEC CPU2017; those traces are not
+// redistributable, so we synthesize LLC-miss streams whose *characterized*
+// properties match what the paper reports and uses:
+//   * MPKI (LLC misses per kilo-instruction) and memory footprint: Table II.
+//   * Spatial locality (how completely large lines/pages get used) and
+//     temporal locality (re-access frequency before eviction): the axes of
+//     Figure 1 and Section II-B's workload taxonomy. The paper explicitly
+//     characterizes mcf (strong/strong), wrf (weak spatial/strong temporal)
+//     and xz (strong spatial/weak temporal); others are assigned plausible
+//     published characterizations.
+//
+// Each profile drives a mixture generator (see generator.h) with weights for
+// a sequential scanner, a Zipf-distributed hot set and uniform cold misses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace bb::trace {
+
+enum class MpkiClass : u8 { kHigh, kMedium, kLow };
+
+constexpr const char* to_string(MpkiClass c) {
+  switch (c) {
+    case MpkiClass::kHigh: return "High";
+    case MpkiClass::kMedium: return "Medium";
+    case MpkiClass::kLow: return "Low";
+  }
+  return "?";
+}
+
+struct WorkloadProfile {
+  std::string name;
+  double mpki = 1.0;         ///< LLC misses per kilo-instruction (Table II)
+  double footprint_gb = 1.0; ///< memory footprint in GB (Table II)
+  MpkiClass mpki_class = MpkiClass::kMedium;
+
+  // Locality axes in [0, 1].
+  double spatial = 0.5;   ///< fraction of a page's blocks typically used
+  double temporal = 0.5;  ///< tendency to re-access data before eviction
+
+  double write_fraction = 0.3;
+
+  // Mixture weights (must sum to <= 1; remainder is uniform cold misses).
+  double w_scan = 0.3;  ///< sequential scanner share
+  double w_hot = 0.5;   ///< Zipf hot-set share
+
+  double zipf_s = 0.9;        ///< hot-set skew
+  double hot_fraction = 0.05; ///< hot set size as fraction of footprint
+
+  u64 footprint_bytes() const {
+    return static_cast<u64>(footprint_gb * static_cast<double>(GiB));
+  }
+
+  /// Mean instructions between LLC misses.
+  double mean_inst_gap() const { return 1000.0 / mpki; }
+
+  /// The 14 SPEC CPU2017 benchmarks of Table II, grouped by MPKI class.
+  static const std::vector<WorkloadProfile>& spec2017();
+
+  /// Lookup by benchmark name; throws std::out_of_range if unknown.
+  static const WorkloadProfile& by_name(const std::string& name);
+
+  /// All profiles in a given MPKI class, in Table II order.
+  static std::vector<WorkloadProfile> by_class(MpkiClass c);
+};
+
+}  // namespace bb::trace

@@ -1,0 +1,162 @@
+// Tests for the extension baselines: PoM (reference [6]) and MemPod
+// (reference [8]).
+#include <gtest/gtest.h>
+
+#include "baselines/factory.h"
+#include "baselines/mempod.h"
+#include "baselines/pom.h"
+#include "common/rng.h"
+
+namespace bb::baselines {
+namespace {
+
+mem::DramTimingParams small_hbm() {
+  auto p = mem::DramTimingParams::hbm2_1gb();
+  p.capacity_bytes = 128 * MiB;
+  return p;
+}
+mem::DramTimingParams small_dram() {
+  auto p = mem::DramTimingParams::ddr4_3200_10gb();
+  p.capacity_bytes = 1 * GiB;
+  return p;
+}
+
+class ExtensionFixture : public ::testing::Test {
+ protected:
+  ExtensionFixture() : hbm_(small_hbm()), dram_(small_dram()) {}
+  mem::DramDevice hbm_;
+  mem::DramDevice dram_;
+};
+
+// --------------------------------------------------------------------- PoM
+
+TEST_F(ExtensionFixture, PomAllVisible) {
+  PomController c(hbm_, dram_);
+  EXPECT_EQ(c.paging().config().visible_bytes,
+            hbm_.capacity() + dram_.capacity());
+}
+
+TEST_F(ExtensionFixture, PomNativeSectorServedNear) {
+  PomController c(hbm_, dram_);
+  const u64 m = c.sectors_per_set() - 1;
+  const auto r = c.access(m * 2 * KiB, AccessType::kRead, 0);
+  EXPECT_TRUE(r.served_by_hbm);
+}
+
+TEST_F(ExtensionFixture, PomCompetingCounterHysteresis) {
+  PomController c(hbm_, dram_);
+  // Far accesses to sector 0 of set 0; must swap only after the threshold
+  // is crossed, not immediately.
+  Tick now = 0;
+  int accesses_before_swap = 0;
+  while (c.stats().swaps == 0 && accesses_before_swap < 32) {
+    now += 100000;
+    c.access(0, AccessType::kRead, now);
+    ++accesses_before_swap;
+  }
+  EXPECT_GT(c.stats().swaps, 0u);
+  EXPECT_GE(accesses_before_swap, 6);  // the configured threshold
+  // After the swap the sector is served near.
+  now += 100000;
+  EXPECT_TRUE(c.access(0, AccessType::kRead, now).served_by_hbm);
+}
+
+TEST_F(ExtensionFixture, PomOccupantDefends) {
+  PomController c(hbm_, dram_);
+  // Interleave occupant (near) and challenger (far) accesses 1:1: the
+  // decay on near accesses must prevent the swap.
+  const u64 m = c.sectors_per_set() - 1;
+  Tick now = 0;
+  for (int i = 0; i < 40; ++i) {
+    now += 100000;
+    c.access(0, AccessType::kRead, now);          // challenger (far)
+    now += 100000;
+    c.access(m * 2 * KiB, AccessType::kRead, now);  // occupant (near)
+  }
+  EXPECT_EQ(c.stats().swaps, 0u);
+}
+
+TEST_F(ExtensionFixture, PomMetadataExceedsSram) {
+  PomController c(hbm_, dram_);
+  EXPECT_GT(c.metadata_sram_bytes(), 512 * KiB);
+}
+
+// ------------------------------------------------------------------ MemPod
+
+TEST_F(ExtensionFixture, MemPodAllVisible) {
+  MemPodController c(hbm_, dram_);
+  EXPECT_EQ(c.paging().config().visible_bytes,
+            hbm_.capacity() + dram_.capacity());
+}
+
+TEST_F(ExtensionFixture, MemPodMigratesAtIntervalBoundary) {
+  MemPodConfig cfg;
+  cfg.interval = ns_to_ticks(10'000.0);
+  MemPodController c(hbm_, dram_, hmm::PagingConfig{}, cfg);
+  // Hammer one far page within an interval, then cross the boundary.
+  // Low logical pages start in the DRAM slice (DRAM frames come first).
+  const u64 far_page = 3;
+  const Addr a = (far_page * cfg.pods + 0) * 2 * KiB;
+
+  Tick now = 0;
+  for (int i = 0; i < 64; ++i) {
+    now += ns_to_ticks(500.0);
+    c.access(a, AccessType::kRead, now);
+  }
+  // Cross another interval to trigger the migration pass.
+  now += cfg.interval * 2;
+  c.access(a, AccessType::kRead, now);
+  EXPECT_GT(c.interval_migrations(), 0u);
+  // Served near afterwards.
+  now += ns_to_ticks(500.0);
+  EXPECT_TRUE(c.access(a, AccessType::kRead, now).served_by_hbm);
+}
+
+TEST_F(ExtensionFixture, MemPodNoMigrationWithinInterval) {
+  MemPodConfig cfg;
+  cfg.interval = ns_to_ticks(1e9);  // effectively never
+  MemPodController c(hbm_, dram_, hmm::PagingConfig{}, cfg);
+  const Addr a = (5 * cfg.pods) * 2 * KiB;  // a far (DRAM-slice) page
+  Tick now = 1;  // past the initial interval boundary at 0
+  c.access(a, AccessType::kRead, now);  // runs interval once at t=1
+  for (int i = 0; i < 200; ++i) {
+    now += ns_to_ticks(100.0);
+    c.access(a, AccessType::kRead, now);
+  }
+  EXPECT_EQ(c.interval_migrations(), 0u);
+}
+
+TEST_F(ExtensionFixture, MemPodSramMetadata) {
+  MemPodController c(hbm_, dram_);
+  EXPECT_GT(c.metadata_sram_bytes(), 0u);
+}
+
+TEST_F(ExtensionFixture, FactoryCreatesExtensions) {
+  EXPECT_EQ(make_design("PoM", hbm_, dram_)->name(), "PoM");
+  EXPECT_EQ(make_design("MemPod", hbm_, dram_)->name(), "MemPod");
+}
+
+class ExtensionSmokeTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtensionSmokeTest, RandomLoadRuns) {
+  mem::DramDevice hbm(small_hbm());
+  mem::DramDevice dram(small_dram());
+  auto c = make_design(GetParam(), hbm, dram);
+  Rng rng(17);
+  Tick now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += 30000;
+    const auto r = c->access(rng.next_below(900 * MiB) & ~Addr{63},
+                             rng.next_bool(0.3) ? AccessType::kWrite
+                                                : AccessType::kRead,
+                             now);
+    ASSERT_GE(r.complete, now);
+  }
+  EXPECT_EQ(c->stats().requests, 5000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extensions, ExtensionSmokeTest,
+                         ::testing::Values("PoM", "MemPod"));
+
+}  // namespace
+}  // namespace bb::baselines

@@ -1,0 +1,95 @@
+#include "bumblebee/config.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::bumblebee {
+namespace {
+
+TEST(Config, PaperGeometry) {
+  const BumblebeeConfig cfg;
+  const auto g = Geometry::make(cfg, 1 * GiB, 10 * GiB);
+  // 1 GiB / 64 KiB pages = 16384 HBM pages, 8-way => 2048 sets.
+  EXPECT_EQ(g.sets, 2048u);
+  EXPECT_EQ(g.n, 8u);
+  // 10 GiB / 64 KiB / 2048 sets = 80 off-chip pages per set.
+  EXPECT_EQ(g.m, 80u);
+  EXPECT_EQ(g.slots(), 88u);
+  EXPECT_EQ(g.blocks_per_page, 32u);
+  EXPECT_EQ(g.dram_pages(), 163840u);
+  EXPECT_EQ(g.hbm_pages(), 16384u);
+  EXPECT_EQ(g.visible_bytes(), 11 * GiB);
+}
+
+TEST(Config, MetadataBudgetMatchesPaperScale) {
+  // Paper: 334 KB total (110 PRT + 136 BLE + 88 hotness). Our accounting
+  // (which includes occupancy/mode bits) must land in the same few-hundred-
+  // KB regime and under the 512 KB SRAM budget.
+  const BumblebeeConfig cfg;
+  const auto g = Geometry::make(cfg, 1 * GiB, 10 * GiB);
+  const auto b = metadata_budget(cfg, g);
+  EXPECT_GT(b.total(), 250 * KiB);
+  EXPECT_LT(b.total(), 512 * KiB);
+  // Decomposition ordering matches the paper: BLE > PRT > hotness.
+  EXPECT_GT(b.ble_bytes, b.hotness_bytes);
+  EXPECT_GT(b.prt_bytes, b.hotness_bytes);
+}
+
+TEST(Config, MetadataShrinksWithLargerPages) {
+  BumblebeeConfig small;
+  small.page_bytes = 64 * KiB;
+  BumblebeeConfig large;
+  large.page_bytes = 128 * KiB;
+  const auto bs =
+      metadata_budget(small, Geometry::make(small, 1 * GiB, 10 * GiB));
+  const auto bl =
+      metadata_budget(large, Geometry::make(large, 1 * GiB, 10 * GiB));
+  EXPECT_GT(bs.total(), bl.total());
+}
+
+TEST(Config, MetadataGrowsWithSmallerBlocks) {
+  BumblebeeConfig b2;
+  b2.block_bytes = 2 * KiB;
+  BumblebeeConfig b1;
+  b1.block_bytes = 1 * KiB;
+  const auto s2 = metadata_budget(b2, Geometry::make(b2, 1 * GiB, 10 * GiB));
+  const auto s1 = metadata_budget(b1, Geometry::make(b1, 1 * GiB, 10 * GiB));
+  EXPECT_GT(s1.ble_bytes, s2.ble_bytes);
+}
+
+TEST(Config, NonPowerOfTwoPagesWork) {
+  BumblebeeConfig cfg;
+  cfg.page_bytes = 96 * KiB;
+  const auto g = Geometry::make(cfg, 1 * GiB, 10 * GiB);
+  EXPECT_GT(g.sets, 0u);
+  EXPECT_GT(g.m, 0u);
+  EXPECT_EQ(g.blocks_per_page, 48u);
+}
+
+TEST(Config, Presets) {
+  EXPECT_FALSE(BumblebeeConfig::c_only().enable_migration);
+  EXPECT_TRUE(BumblebeeConfig::c_only().enable_caching);
+  EXPECT_FALSE(BumblebeeConfig::m_only().enable_caching);
+  EXPECT_TRUE(BumblebeeConfig::m_only().enable_migration);
+  EXPECT_DOUBLE_EQ(BumblebeeConfig::fixed_chbm(0.25).fixed_chbm_fraction,
+                   0.25);
+  EXPECT_EQ(BumblebeeConfig::fixed_chbm(0.25).variant_name, "25%-C");
+  EXPECT_EQ(BumblebeeConfig::fixed_chbm(0.5).variant_name, "50%-C");
+  EXPECT_FALSE(BumblebeeConfig::no_multi().multiplexed_space);
+  EXPECT_TRUE(BumblebeeConfig::meta_h().metadata_in_hbm);
+  EXPECT_EQ(BumblebeeConfig::alloc_d().alloc, AllocPolicy::kDramFirst);
+  EXPECT_EQ(BumblebeeConfig::alloc_h().alloc, AllocPolicy::kHbmFirst);
+  EXPECT_FALSE(BumblebeeConfig::no_hmf().high_footprint_actions);
+  EXPECT_EQ(BumblebeeConfig::baseline().variant_name, "Bumblebee");
+}
+
+TEST(Config, BlocksPerPage) {
+  BumblebeeConfig cfg;
+  cfg.page_bytes = 64 * KiB;
+  cfg.block_bytes = 2 * KiB;
+  EXPECT_EQ(cfg.blocks_per_page(), 32u);
+  cfg.block_bytes = 4 * KiB;
+  EXPECT_EQ(cfg.blocks_per_page(), 16u);
+}
+
+}  // namespace
+}  // namespace bb::bumblebee

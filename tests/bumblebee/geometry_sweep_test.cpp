@@ -1,0 +1,87 @@
+// Structural sweep over the Figure 6 design space: every (block, page)
+// configuration must keep the controller's invariants and functional
+// correctness under randomized load — the design-space bench assumes this.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bumblebee/controller.h"
+#include "common/rng.h"
+
+namespace bb::bumblebee {
+namespace {
+
+using Combo = std::tuple<u64, u64>;  // block KiB, page KiB
+
+class GeometrySweepTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(GeometrySweepTest, InvariantsAndIntegrityHold) {
+  const auto [block_kb, page_kb] = GetParam();
+  auto hp = mem::DramTimingParams::hbm2_1gb();
+  hp.capacity_bytes = 24 * MiB;
+  auto dp = mem::DramTimingParams::ddr4_3200_10gb();
+  dp.capacity_bytes = 240 * MiB;
+  mem::DramDevice hbm(hp), dram(dp);
+
+  BumblebeeConfig cfg;
+  cfg.block_bytes = block_kb * KiB;
+  cfg.page_bytes = page_kb * KiB;
+  BumblebeeController c(cfg, hbm, dram,
+                        hmm::PagingConfig{.enabled = false});
+
+  EXPECT_EQ(c.geometry().blocks_per_page,
+            page_kb / block_kb);
+
+  // Functional shadow (as in integrity_test, condensed).
+  std::unordered_map<u64, u64> hbm_shadow, dram_shadow, expected;
+  c.set_movement_hook([&](const hmm::MoveEvent& e) {
+    for (u64 i = 0; i < (e.bytes + 63) / 64; ++i) {
+      auto& src = e.src_hbm ? hbm_shadow : dram_shadow;
+      auto& dst = e.dst_hbm ? hbm_shadow : dram_shadow;
+      const u64 sk = e.src_addr / 64 + i, dk = e.dst_addr / 64 + i;
+      if (e.is_swap) {
+        std::swap(src[sk], dst[dk]);
+      } else {
+        dst[dk] = src.count(sk) ? src[sk] : 0;
+      }
+    }
+  });
+
+  Rng rng(block_kb * 131 + page_kb);
+  Tick now = 0;
+  u64 token = 0;
+  for (int i = 0; i < 15000; ++i) {
+    now += 30000;
+    const Addr a = rng.next_below(32 * MiB / 64) * 64;
+    const bool write = rng.next_bool(0.4);
+    const auto r =
+        c.access(a, write ? AccessType::kWrite : AccessType::kRead, now);
+    if (write) {
+      ++token;
+      expected[a / 64] = token;
+      (r.served_by_hbm ? hbm_shadow : dram_shadow)[r.phys_addr / 64] = token;
+      const auto loc = c.locate(a);
+      (loc.in_hbm ? hbm_shadow : dram_shadow)[loc.phys / 64] = token;
+    } else if (const auto it = expected.find(a / 64);
+               it != expected.end()) {
+      const auto loc = c.locate(a);
+      const auto& m = loc.in_hbm ? hbm_shadow : dram_shadow;
+      const auto v = m.find(loc.phys / 64);
+      ASSERT_TRUE(v != m.end() && v->second == it->second)
+          << block_kb << "-" << page_kb << " at iteration " << i;
+    }
+  }
+  EXPECT_TRUE(c.check_invariants());
+  EXPECT_EQ(c.bb_stats().os_swap_outs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig6Space, GeometrySweepTest,
+    ::testing::Values(Combo{1, 64}, Combo{1, 96}, Combo{1, 128},
+                      Combo{2, 64}, Combo{2, 96}, Combo{2, 128},
+                      Combo{4, 64}, Combo{4, 96}, Combo{4, 128},
+                      // beyond Figure 6: stress small/large extremes
+                      Combo{2, 32}, Combo{8, 128}));
+
+}  // namespace
+}  // namespace bb::bumblebee

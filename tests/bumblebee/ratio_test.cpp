@@ -1,0 +1,106 @@
+// The headline claim as a test: the cHBM : mHBM ratio tracks the
+// workload's locality signature — dense streams end mHBM-dominant, sparse
+// hot sets end cHBM-dominant, and the ratio moves when the workload
+// changes (Section II-B's motivation for runtime adjustability).
+#include <gtest/gtest.h>
+
+#include "bumblebee/controller.h"
+#include "common/rng.h"
+#include "trace/generator.h"
+
+namespace bb::bumblebee {
+namespace {
+
+mem::DramTimingParams small_hbm() {
+  auto p = mem::DramTimingParams::hbm2_1gb();
+  p.capacity_bytes = 16 * MiB;
+  return p;
+}
+mem::DramTimingParams small_dram() {
+  auto p = mem::DramTimingParams::ddr4_3200_10gb();
+  p.capacity_bytes = 160 * MiB;
+  return p;
+}
+
+/// Drives `n` misses of a dense sequential sweep over `bytes`.
+void drive_dense(BumblebeeController& c, Tick& now, u64 bytes, int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (Addr a = 0; a < bytes; a += 64) {
+      now += 20000;
+      c.access(a, AccessType::kRead, now);
+    }
+  }
+}
+
+/// Drives misses over sparse hot spots: one 2 KB block per 64 KB page.
+void drive_sparse(BumblebeeController& c, Tick& now, u64 pages, u64 n) {
+  Rng rng(4);
+  for (u64 i = 0; i < n; ++i) {
+    now += 20000;
+    const u64 page = rng.next_below(pages);
+    const u64 line = rng.next_below(32);  // within the page's first 2 KB
+    c.access(page * 64 * KiB + line * 64, AccessType::kRead, now);
+  }
+}
+
+TEST(AdaptiveRatio, DenseStreamsEndMemDominant) {
+  mem::DramDevice hbm(small_hbm()), dram(small_dram());
+  BumblebeeController c(BumblebeeConfig::baseline(), hbm, dram);
+  Tick now = 0;
+  drive_dense(c, now, 8 * MiB, 2);
+  const auto r = c.ratio();
+  EXPECT_GT(r.mhbm_frames, r.chbm_frames)
+      << "dense spatial locality must favor mHBM";
+}
+
+TEST(AdaptiveRatio, SparseHotSetsEndCacheDominant) {
+  mem::DramDevice hbm(small_hbm()), dram(small_dram());
+  BumblebeeController c(BumblebeeConfig::baseline(), hbm, dram);
+  Tick now = 0;
+  drive_sparse(c, now, /*pages=*/512, /*n=*/40000);
+  const auto r = c.ratio();
+  EXPECT_GT(r.chbm_frames, r.mhbm_frames)
+      << "sparse hot blocks must favor cHBM";
+}
+
+TEST(AdaptiveRatio, RatioMovesAcrossPhases) {
+  mem::DramDevice hbm(small_hbm()), dram(small_dram());
+  BumblebeeController c(BumblebeeConfig::baseline(), hbm, dram);
+  Tick now = 0;
+  drive_dense(c, now, 8 * MiB, 1);
+  const auto dense = c.ratio();
+  ASSERT_GT(dense.mhbm_frames, 0u);
+  const double dense_share =
+      static_cast<double>(dense.chbm_frames) /
+      static_cast<double>(dense.chbm_frames + dense.mhbm_frames + 1);
+
+  // Phase change: sparse hot blocks in a different address range.
+  Rng rng(8);
+  for (int i = 0; i < 60000; ++i) {
+    now += 20000;
+    const u64 page = 200 + rng.next_below(800);
+    c.access(page * 64 * KiB + rng.next_below(32) * 64, AccessType::kRead,
+             now);
+  }
+  const auto sparse = c.ratio();
+  const double sparse_share =
+      static_cast<double>(sparse.chbm_frames) /
+      static_cast<double>(sparse.chbm_frames + sparse.mhbm_frames + 1);
+  EXPECT_GT(sparse_share, dense_share)
+      << "the cHBM share must grow when the workload turns sparse";
+  EXPECT_TRUE(c.check_invariants());
+}
+
+TEST(AdaptiveRatio, FixedPartitionsDoNotAdapt) {
+  mem::DramDevice hbm(small_hbm()), dram(small_dram());
+  BumblebeeController c(BumblebeeConfig::fixed_chbm(0.5), hbm, dram);
+  Tick now = 0;
+  drive_dense(c, now, 8 * MiB, 2);
+  const auto r = c.ratio();
+  // Half the frames are reserved for caching: the mHBM population can
+  // never exceed the mem-role frames (4 of 8 per set).
+  EXPECT_LE(r.mhbm_frames, 16u * MiB / (64 * KiB) / 2);
+}
+
+}  // namespace
+}  // namespace bb::bumblebee

@@ -1,0 +1,164 @@
+#include "cache/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace bb::cache {
+namespace {
+
+CacheParams small_cache() {
+  CacheParams p;
+  p.size_bytes = 4 * KiB;
+  p.ways = 2;
+  p.line_bytes = 64;
+  p.policy = PolicyKind::kLru;
+  return p;
+}
+
+TEST(Cache, MissThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(0x100, AccessType::kRead).hit);
+  EXPECT_TRUE(c.access(0x100, AccessType::kRead).hit);
+  EXPECT_TRUE(c.access(0x13f, AccessType::kRead).hit);  // same line
+  EXPECT_FALSE(c.access(0x140, AccessType::kRead).hit); // next line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, EvictionReportsVictim) {
+  auto p = small_cache();
+  p.size_bytes = 2 * 64;  // 1 set, 2 ways
+  p.ways = 2;
+  Cache c(p);
+  c.access(0 * 64, AccessType::kRead);
+  c.access(1 * 64, AccessType::kRead);
+  const auto r = c.access(2 * 64, AccessType::kRead);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.evicted_addr, 0u);  // LRU victim was line 0
+  EXPECT_FALSE(r.evicted_dirty);
+}
+
+TEST(Cache, DirtyEvictionWritesBack) {
+  auto p = small_cache();
+  p.size_bytes = 2 * 64;
+  Cache c(p);
+  c.access(0, AccessType::kWrite);
+  c.access(64, AccessType::kRead);
+  const auto r = c.access(128, AccessType::kRead);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.evicted_dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty) {
+  auto p = small_cache();
+  p.size_bytes = 2 * 64;
+  Cache c(p);
+  c.access(0, AccessType::kRead);
+  c.access(0, AccessType::kWrite);  // hit, dirties the line
+  c.access(64, AccessType::kRead);
+  const auto r = c.access(128, AccessType::kRead);
+  EXPECT_TRUE(r.evicted_dirty);
+}
+
+TEST(Cache, ContainsIsNonMutating) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.contains(0));
+  const auto before = c.stats().accesses();
+  c.contains(0);
+  EXPECT_EQ(c.stats().accesses(), before);
+  c.access(0, AccessType::kRead);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_TRUE(c.contains(63));
+  EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, InvalidateReturnsDirtiness) {
+  Cache c(small_cache());
+  c.access(0, AccessType::kWrite);
+  c.access(64, AccessType::kRead);
+  EXPECT_TRUE(c.invalidate(0));
+  EXPECT_FALSE(c.invalidate(64));
+  EXPECT_FALSE(c.invalidate(128));  // absent
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, EvictionHookObservesAccessCount) {
+  auto p = small_cache();
+  p.size_bytes = 2 * 64;
+  Cache c(p);
+  std::vector<EvictionInfo> evs;
+  c.set_eviction_hook([&](const EvictionInfo& e) { evs.push_back(e); });
+  c.access(0, AccessType::kRead);   // install (1 access)
+  c.access(0, AccessType::kRead);   // hit (2)
+  c.access(0, AccessType::kRead);   // hit (3)
+  c.access(64, AccessType::kRead);
+  c.access(128, AccessType::kRead); // evicts line 0
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].line_addr, 0u);
+  EXPECT_EQ(evs[0].access_count, 3u);
+}
+
+TEST(Cache, FlushEmitsAllValidLines) {
+  Cache c(small_cache());
+  int evictions = 0;
+  c.set_eviction_hook([&](const EvictionInfo&) { ++evictions; });
+  c.access(0, AccessType::kRead);
+  c.access(4096, AccessType::kWrite);
+  c.flush();
+  EXPECT_EQ(evictions, 2);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, LargeLineGranularity) {
+  CacheParams p;
+  p.size_bytes = 1 * MiB;
+  p.ways = 16;
+  p.line_bytes = 64 * KiB;
+  Cache c(p);
+  c.access(0, AccessType::kRead);
+  EXPECT_TRUE(c.contains(64 * KiB - 1));
+  EXPECT_FALSE(c.contains(64 * KiB));
+}
+
+TEST(Cache, HitRateMath) {
+  Cache c(small_cache());
+  c.access(0, AccessType::kRead);
+  c.access(0, AccessType::kRead);
+  c.access(0, AccessType::kRead);
+  c.access(0, AccessType::kRead);
+  EXPECT_DOUBLE_EQ(c.stats().hit_rate(), 0.75);
+}
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<u64, u32, u64>> {};
+
+TEST_P(CacheGeometryTest, FillsWholeCapacityBeforeEvicting) {
+  const auto [size, ways, line] = GetParam();
+  CacheParams p;
+  p.size_bytes = size;
+  p.ways = ways;
+  p.line_bytes = line;
+  Cache c(p);
+  const u64 lines = size / line;
+  for (u64 i = 0; i < lines; ++i) {
+    const auto r = c.access(i * line, AccessType::kRead);
+    ASSERT_FALSE(r.hit);
+    ASSERT_FALSE(r.evicted) << "premature eviction at line " << i;
+  }
+  // One more distinct line must evict.
+  EXPECT_TRUE(c.access(lines * line, AccessType::kRead).evicted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_tuple(u64{4 * KiB}, 2u, u64{64}),
+                      std::make_tuple(u64{64 * KiB}, 4u, u64{64}),
+                      std::make_tuple(u64{256 * KiB}, 8u, u64{64}),
+                      std::make_tuple(u64{1 * MiB}, 16u, u64{4 * KiB}),
+                      std::make_tuple(u64{8 * MiB}, 16u, u64{64})));
+
+}  // namespace
+}  // namespace bb::cache

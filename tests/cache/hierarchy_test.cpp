@@ -1,0 +1,92 @@
+#include "cache/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::cache {
+namespace {
+
+TEST(Hierarchy, TableIGeometry) {
+  Hierarchy h;
+  EXPECT_EQ(h.l1().params().size_bytes, 64 * KiB);
+  EXPECT_EQ(h.l1().params().ways, 4u);
+  EXPECT_EQ(h.l1().params().policy, PolicyKind::kLru);
+  EXPECT_EQ(h.l2().params().size_bytes, 256 * KiB);
+  EXPECT_EQ(h.l2().params().ways, 8u);
+  EXPECT_EQ(h.l2().params().policy, PolicyKind::kSrrip);
+  EXPECT_EQ(h.l3().params().size_bytes, 8 * MiB);
+  EXPECT_EQ(h.l3().params().ways, 16u);
+  EXPECT_EQ(h.l3().params().policy, PolicyKind::kDrrip);
+}
+
+TEST(Hierarchy, FirstAccessMissesEverywhere) {
+  Hierarchy h;
+  const auto r = h.access(0x1000, AccessType::kRead);
+  EXPECT_TRUE(r.llc_miss);
+  EXPECT_EQ(r.hit_level, 0);
+  EXPECT_EQ(r.latency, h.l1().params().hit_latency +
+                           h.l2().params().hit_latency +
+                           h.l3().params().hit_latency);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  Hierarchy h;
+  h.access(0x1000, AccessType::kRead);
+  const auto r = h.access(0x1000, AccessType::kRead);
+  EXPECT_FALSE(r.llc_miss);
+  EXPECT_EQ(r.hit_level, 1);
+  EXPECT_EQ(r.latency, h.l1().params().hit_latency);
+}
+
+TEST(Hierarchy, L1EvictionLeavesL2Copy) {
+  Hierarchy h;
+  // Touch enough distinct lines mapping to one L1 set to evict from L1 but
+  // stay within L2.
+  const u64 l1_sets = h.l1().params().num_sets();
+  for (u64 i = 0; i < 8; ++i) {
+    h.access(i * l1_sets * 64, AccessType::kRead);
+  }
+  // Line 0 is out of L1 now (4-way), but should hit L2.
+  const auto r = h.access(0, AccessType::kRead);
+  EXPECT_EQ(r.hit_level, 2);
+}
+
+TEST(Hierarchy, MpkiCountsL3Misses) {
+  Hierarchy h;
+  for (u64 i = 0; i < 100; ++i) {
+    h.access(i * 64, AccessType::kRead);  // 100 cold misses
+  }
+  for (u64 i = 0; i < 100; ++i) {
+    h.access(i * 64, AccessType::kRead);  // 100 L1 hits
+  }
+  EXPECT_DOUBLE_EQ(h.mpki(100'000), 1.0);
+}
+
+TEST(Hierarchy, ResetStats) {
+  Hierarchy h;
+  h.access(0, AccessType::kRead);
+  h.reset_stats();
+  EXPECT_EQ(h.l1().stats().accesses(), 0u);
+  EXPECT_EQ(h.l3().stats().misses, 0u);
+}
+
+TEST(Hierarchy, WritebackToMemoryOnDirtyL3Eviction) {
+  HierarchyParams hp;
+  // Shrink L3 drastically so evictions are easy to force.
+  hp.l3.size_bytes = 2 * 64;
+  hp.l3.ways = 2;
+  hp.l2.size_bytes = 2 * 64;
+  hp.l2.ways = 2;
+  hp.l1.size_bytes = 2 * 64;
+  hp.l1.ways = 2;
+  Hierarchy h(hp);
+  h.access(0, AccessType::kWrite);
+  bool saw_writeback = false;
+  for (u64 i = 1; i < 32 && !saw_writeback; ++i) {
+    const auto r = h.access(i * 64, AccessType::kRead);
+    saw_writeback = r.writeback_to_memory;
+  }
+  EXPECT_TRUE(saw_writeback);
+}
+
+}  // namespace
+}  // namespace bb::cache

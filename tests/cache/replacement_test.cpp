@@ -1,0 +1,135 @@
+#include "cache/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bb::cache {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.init(1, 4);
+  for (u32 w = 0; w < 4; ++w) lru.on_fill(0, w);
+  // Touch 0, 1, 3 -> victim must be 2.
+  lru.on_hit(0, 0);
+  lru.on_hit(0, 1);
+  lru.on_hit(0, 3);
+  EXPECT_EQ(lru.victim(0), 2u);
+}
+
+TEST(Lru, FillCountsAsUse) {
+  LruPolicy lru;
+  lru.init(1, 2);
+  lru.on_fill(0, 0);
+  lru.on_fill(0, 1);
+  EXPECT_EQ(lru.victim(0), 0u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  LruPolicy lru;
+  lru.init(2, 2);
+  lru.on_fill(0, 0);
+  lru.on_fill(1, 1);
+  lru.on_fill(0, 1);
+  lru.on_fill(1, 0);
+  EXPECT_EQ(lru.victim(0), 0u);
+  EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(Srrip, HitPromotesToNearRrpv) {
+  RripPolicy p(/*bimodal=*/false, 1);
+  p.init(1, 4);
+  for (u32 w = 0; w < 4; ++w) p.on_fill(0, w);
+  p.on_hit(0, 2);  // way 2 becomes RRPV 0
+  // Victim search ages everyone; way 2 must be the last chosen.
+  const u32 v1 = p.victim(0);
+  EXPECT_NE(v1, 2u);
+}
+
+TEST(Srrip, VictimIsDeterministicFromState) {
+  RripPolicy a(false, 1), b(false, 1);
+  a.init(4, 4);
+  b.init(4, 4);
+  for (u32 w = 0; w < 4; ++w) {
+    a.on_fill(1, w);
+    b.on_fill(1, w);
+  }
+  EXPECT_EQ(a.victim(1), b.victim(1));
+}
+
+TEST(Brrip, MostInsertionsAreDistant) {
+  RripPolicy p(/*bimodal=*/true, 7);
+  p.init(1, 16);
+  // Fill all ways; distant (RRPV=3) insertions are immediate victims.
+  int immediate = 0;
+  for (u32 w = 0; w < 16; ++w) {
+    p.on_fill(0, w);
+  }
+  // Count ways at max RRPV by asking for victims repeatedly without hits:
+  // the first victim found without aging indicates RRPV==3 entries exist.
+  std::set<u32> victims;
+  for (int i = 0; i < 16; ++i) {
+    const u32 v = p.victim(0);
+    victims.insert(v);
+    p.on_hit(0, v);  // retire it from victim candidacy
+    ++immediate;
+  }
+  EXPECT_EQ(victims.size(), 16u);
+}
+
+TEST(Drrip, AdaptsViaSetDueling) {
+  DrripPolicy p(3);
+  p.init(64, 4);
+  // Just exercise fills/hits/victims across leader and follower sets; the
+  // policy must never return an out-of-range way.
+  for (u32 s = 0; s < 64; ++s) {
+    for (u32 w = 0; w < 4; ++w) p.on_fill(s, w);
+    const u32 v = p.victim(s);
+    EXPECT_LT(v, 4u);
+    p.on_hit(s, v);
+  }
+}
+
+TEST(Random, VictimInRange) {
+  RandomPolicy p(5);
+  p.init(8, 8);
+  std::set<u32> seen;
+  for (int i = 0; i < 256; ++i) {
+    const u32 v = p.victim(0);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  // Uniform randomness should touch most ways.
+  EXPECT_GE(seen.size(), 6u);
+}
+
+class FactoryTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(FactoryTest, CreatesWorkingPolicy) {
+  auto p = make_policy(GetParam(), 11);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), GetParam());
+  p->init(8, 4);
+  for (u32 w = 0; w < 4; ++w) p->on_fill(2, w);
+  p->on_hit(2, 1);
+  EXPECT_LT(p->victim(2), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, FactoryTest,
+                         ::testing::Values(PolicyKind::kLru,
+                                           PolicyKind::kSrrip,
+                                           PolicyKind::kBrrip,
+                                           PolicyKind::kDrrip,
+                                           PolicyKind::kRandom));
+
+TEST(PolicyNames, ToString) {
+  EXPECT_STREQ(to_string(PolicyKind::kLru), "LRU");
+  EXPECT_STREQ(to_string(PolicyKind::kSrrip), "SRRIP");
+  EXPECT_STREQ(to_string(PolicyKind::kBrrip), "BRRIP");
+  EXPECT_STREQ(to_string(PolicyKind::kDrrip), "DRRIP");
+  EXPECT_STREQ(to_string(PolicyKind::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace bb::cache

@@ -1,0 +1,93 @@
+#include "common/bitvector.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(BitVector, EmptyByDefault) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.none());
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, SetAndTest) {
+  BitVector v(100);
+  EXPECT_FALSE(v.test(0));
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(99);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(99));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVector, Unset) {
+  BitVector v(10);
+  v.set(5);
+  EXPECT_TRUE(v.test(5));
+  v.set(5, false);
+  EXPECT_FALSE(v.test(5));
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, SetAllRespectsSize) {
+  for (std::size_t n : {1u, 31u, 32u, 63u, 64u, 65u, 127u, 128u}) {
+    BitVector v(n);
+    v.set_all();
+    EXPECT_EQ(v.popcount(), n) << "size " << n;
+    EXPECT_TRUE(v.all());
+    v.clear_all();
+    EXPECT_TRUE(v.none());
+    EXPECT_FALSE(v.all());
+  }
+}
+
+TEST(BitVector, AllOnEmptyIsTrue) {
+  BitVector v(0);
+  EXPECT_TRUE(v.all());  // vacuous truth
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(48), b(48), c(47);
+  a.set(3);
+  b.set(3);
+  EXPECT_TRUE(a == b);
+  b.set(4);
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitVector, ResizeClears) {
+  BitVector v(10);
+  v.set_all();
+  v.resize(20);
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.size(), 20u);
+}
+
+class BitVectorSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorSizeTest, PopcountMatchesLoop) {
+  const std::size_t n = GetParam();
+  BitVector v(n);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < n; i += 3) {
+    v.set(i);
+    ++expected;
+  }
+  EXPECT_EQ(v.popcount(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeTest,
+                         ::testing::Values(1, 2, 31, 32, 33, 48, 63, 64, 65,
+                                           96, 127, 128, 1000));
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,62 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+Flags make_flags(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(Flags, EqualsSyntax) {
+  const auto f = make_flags({"--instructions=123", "--workload=mcf"});
+  EXPECT_EQ(f.get_u64("instructions", 0), 123u);
+  EXPECT_EQ(f.get_string("workload", ""), "mcf");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const auto f = make_flags({"--workload", "xz", "--scale", "2.5"});
+  EXPECT_EQ(f.get_string("workload", ""), "xz");
+  EXPECT_DOUBLE_EQ(f.get_double("scale", 0), 2.5);
+}
+
+TEST(Flags, BareSwitch) {
+  const auto f = make_flags({"--verbose", "--n=1"});
+  EXPECT_TRUE(f.has("verbose"));
+  EXPECT_FALSE(f.has("quiet"));
+  EXPECT_EQ(f.get_u64("n", 0), 1u);
+}
+
+TEST(Flags, BareSwitchBeforeAnotherFlag) {
+  const auto f = make_flags({"--fast", "--workload=mcf"});
+  EXPECT_TRUE(f.has("fast"));
+  EXPECT_EQ(f.get_string("fast", "x"), "");
+  EXPECT_EQ(f.get_string("workload", ""), "mcf");
+}
+
+TEST(Flags, Positional) {
+  const auto f = make_flags({"alpha", "--k=1", "beta"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "alpha");
+  EXPECT_EQ(f.positional()[1], "beta");
+}
+
+TEST(Flags, FallbacksOnMissingOrUnparsable) {
+  const auto f = make_flags({"--n=notanumber"});
+  EXPECT_EQ(f.get_u64("n", 42), 42u);
+  EXPECT_EQ(f.get_u64("absent", 7), 7u);
+  EXPECT_DOUBLE_EQ(f.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("absent", "dflt"), "dflt");
+}
+
+TEST(Flags, EmptyArgv) {
+  const auto f = make_flags({});
+  EXPECT_TRUE(f.positional().empty());
+  EXPECT_FALSE(f.has("anything"));
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,106 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bb {
+namespace {
+
+TEST(Counter, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ScalarStat, Empty) {
+  ScalarStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(ScalarStat, Summary) {
+  ScalarStat s;
+  s.sample(1.0);
+  s.sample(3.0);
+  s.sample(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(ScalarStat, NegativeValues) {
+  ScalarStat s;
+  s.sample(-5.0);
+  s.sample(5.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h({5, 10, 15, 20});
+  h.sample(0);     // -> bucket 0
+  h.sample(4.99);  // -> bucket 0
+  h.sample(5);     // -> bucket 1 (upper bound exclusive below)
+  h.sample(9.99);  // -> bucket 1
+  h.sample(19.99); // -> bucket 3
+  h.sample(20);    // -> overflow
+  h.sample(1000);  // -> overflow
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, Fractions) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);  // empty histogram
+  h.sample(0.5, 3);
+  h.sample(2.0, 1);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, Reset) {
+  Histogram h({1.0});
+  h.sample(0.5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+  EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Geomean, NonPositiveGivesZero) {
+  EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({1.0, -2.0}), 0.0);
+}
+
+TEST(StatGroup, NamedCounters) {
+  StatGroup g;
+  g.counter("a").inc(2);
+  g.counter("b").inc();
+  EXPECT_EQ(g.counter("a").value(), 2u);
+  EXPECT_EQ(g.counters().size(), 2u);
+  g.reset();
+  EXPECT_EQ(g.counter("a").value(), 0u);
+}
+
+}  // namespace
+}  // namespace bb

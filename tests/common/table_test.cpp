@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bb {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsTolerated) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only one"});
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, CsvQuotesCommas) {
+  TextTable t({"x"});
+  t.add_row({"a,b"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(TextTable, CsvPlainCells) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(fmt_double(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512.0 B");
+  EXPECT_EQ(fmt_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(fmt_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(fmt_bytes(334.0 * 1024), "334.0 KiB");
+  EXPECT_EQ(fmt_bytes(1024.0 * 1024), "1.00 MiB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.133), "13.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+  EXPECT_EQ(fmt_percent(0.0), "0.0%");
+}
+
+}  // namespace
+}  // namespace bb

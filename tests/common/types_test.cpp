@@ -1,0 +1,63 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(Types, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(4097));
+  EXPECT_TRUE(is_pow2(u64{1} << 63));
+}
+
+TEST(Types, Log2Floor) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(4), 2u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_floor((u64{1} << 40) + 5), 40u);
+}
+
+TEST(Types, BitsFor) {
+  EXPECT_EQ(bits_for(0), 0u);
+  EXPECT_EQ(bits_for(1), 0u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(88), 7u);   // the paper's m + n = 88 -> 7-bit PLE
+  EXPECT_EQ(bits_for(128), 7u);
+  EXPECT_EQ(bits_for(129), 8u);
+}
+
+TEST(Types, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 8), 0u);
+  EXPECT_EQ(ceil_div(1, 8), 1u);
+  EXPECT_EQ(ceil_div(8, 8), 1u);
+  EXPECT_EQ(ceil_div(9, 8), 2u);
+}
+
+TEST(Types, TickConversions) {
+  EXPECT_EQ(ns_to_ticks(1.0), 1000u);
+  EXPECT_EQ(ns_to_ticks(0.625), 625u);
+  EXPECT_DOUBLE_EQ(ticks_to_ns(1500), 1.5);
+  EXPECT_DOUBLE_EQ(ticks_to_s(1'000'000'000'000ULL), 1.0);
+}
+
+TEST(Types, Units) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Types, AccessTypeToString) {
+  EXPECT_STREQ(to_string(AccessType::kRead), "read");
+  EXPECT_STREQ(to_string(AccessType::kWrite), "write");
+}
+
+}  // namespace
+}  // namespace bb

@@ -1,0 +1,98 @@
+#include "hmm/metadata.h"
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_device.h"
+
+namespace bb::hmm {
+namespace {
+
+TEST(Metadata, SramFixedLatency) {
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSram;
+  cfg.sram_latency = ns_to_ticks(2.0);
+  MetadataModel m(cfg, nullptr);
+  EXPECT_EQ(m.lookup(0, 0), ns_to_ticks(2.0));
+  EXPECT_EQ(m.lookup(12345, 999), ns_to_ticks(2.0));
+  EXPECT_EQ(m.stats().lookups, 2u);
+  EXPECT_EQ(m.stats().sram_hits, 2u);
+  EXPECT_EQ(m.stats().hbm_accesses, 0u);
+}
+
+TEST(Metadata, SramUpdateIsFree) {
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSram;
+  MetadataModel m(cfg, nullptr);
+  m.update(1, 0);
+  EXPECT_EQ(m.stats().hbm_accesses, 0u);
+}
+
+TEST(Metadata, HbmPlacementConsumesBandwidth) {
+  mem::DramDevice hbm(mem::DramTimingParams::hbm2_1gb());
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kHbm;
+  MetadataModel m(cfg, &hbm);
+  const Tick lat = m.lookup(7, 1000);
+  EXPECT_GT(lat, 0u);
+  EXPECT_EQ(m.stats().hbm_accesses, 1u);
+  const u64 meta_bytes =
+      hbm.stats()
+          .read_bytes[static_cast<int>(mem::TrafficClass::kMetadata)];
+  EXPECT_GT(meta_bytes, 0u);
+}
+
+TEST(Metadata, HbmUpdateWritesToDevice) {
+  mem::DramDevice hbm(mem::DramTimingParams::hbm2_1gb());
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kHbm;
+  MetadataModel m(cfg, &hbm);
+  m.update(3, 500);
+  EXPECT_GT(
+      hbm.stats()
+          .write_bytes[static_cast<int>(mem::TrafficClass::kMetadata)],
+      0u);
+}
+
+TEST(Metadata, CachedPlacementHitsAreCheap) {
+  mem::DramDevice hbm(mem::DramTimingParams::hbm2_1gb());
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSramCachedHbm;
+  cfg.cache_bytes = 64 * KiB;
+  cfg.sram_latency = ns_to_ticks(2.0);
+  MetadataModel m(cfg, &hbm);
+  const Tick miss = m.lookup(0, 0);
+  const Tick hit = m.lookup(0, ns_to_ticks(1000));
+  EXPECT_GT(miss, hit);
+  EXPECT_EQ(hit, ns_to_ticks(2.0));
+  EXPECT_EQ(m.stats().hbm_accesses, 1u);
+}
+
+TEST(Metadata, CachedPlacementThrashesOnLargeKeySpace) {
+  mem::DramDevice hbm(mem::DramTimingParams::hbm2_1gb());
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSramCachedHbm;
+  cfg.cache_bytes = 4 * KiB;  // tiny cache
+  cfg.entry_bytes = 64;       // one entry per cache line
+  MetadataModel m(cfg, &hbm);
+  // Key space 16x the cache: most lookups go to HBM.
+  Tick now = 0;
+  for (u64 k = 0; k < 1024; ++k) {
+    now += ns_to_ticks(50);
+    m.lookup(k, now);
+  }
+  EXPECT_GT(m.stats().hbm_accesses, 900u);
+}
+
+TEST(Metadata, MeanLatencyTracksTotal) {
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSram;
+  cfg.sram_latency = 100;
+  MetadataModel m(cfg, nullptr);
+  m.lookup(0, 0);
+  m.lookup(1, 0);
+  EXPECT_EQ(m.stats().mean_latency(), 100u);
+  EXPECT_EQ(m.stats().total_latency, 200u);
+}
+
+}  // namespace
+}  // namespace bb::hmm

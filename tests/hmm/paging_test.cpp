@@ -1,0 +1,101 @@
+#include "hmm/paging.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::hmm {
+namespace {
+
+PagingConfig tiny(u64 pages) {
+  PagingConfig cfg;
+  cfg.visible_bytes = pages * cfg.os_page_bytes;
+  cfg.fault_penalty = ns_to_ticks(100);
+  return cfg;
+}
+
+TEST(Paging, ColdFaultsAreFree) {
+  PagingModel p(tiny(4));
+  for (u64 i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.touch(i * 4 * KiB), 0u);
+  }
+  EXPECT_EQ(p.stats().first_touches, 4u);
+  EXPECT_EQ(p.stats().faults, 0u);
+}
+
+TEST(Paging, ResidentPagesDontFault) {
+  PagingModel p(tiny(4));
+  p.touch(0);
+  p.touch(1);  // same 4 KiB page
+  p.touch(4095);
+  EXPECT_EQ(p.stats().first_touches, 1u);
+  EXPECT_EQ(p.stats().faults, 0u);
+}
+
+TEST(Paging, CapacityFaultCharged) {
+  PagingModel p(tiny(2));
+  p.touch(0 * 4 * KiB);
+  p.touch(1 * 4 * KiB);
+  const Tick penalty = p.touch(2 * 4 * KiB);
+  EXPECT_EQ(penalty, ns_to_ticks(100));
+  EXPECT_EQ(p.stats().faults, 1u);
+}
+
+TEST(Paging, SequentialOverCapacityThrashes) {
+  // Cycling 3 pages through a 2-page residency faults on every touch of a
+  // non-resident page (the classic clock/LRU worst case).
+  PagingModel p(tiny(2));
+  p.touch(0 * 4 * KiB);
+  p.touch(1 * 4 * KiB);
+  p.touch(2 * 4 * KiB);
+  const u64 before = p.stats().faults;
+  p.touch(0 * 4 * KiB);
+  p.touch(1 * 4 * KiB);
+  p.touch(2 * 4 * KiB);
+  EXPECT_EQ(p.stats().faults, before + 3);
+}
+
+TEST(Paging, ClockGivesSecondChanceToReferencedPages) {
+  PagingModel p(tiny(3));
+  const Addr A = 0, B = 4 * KiB, C = 8 * KiB, D = 12 * KiB, E = 16 * KiB;
+  p.touch(A);
+  p.touch(B);
+  p.touch(C);
+  p.touch(D);  // fault: reference bits cleared, one of A/B/C evicted
+  p.touch(B);  // re-reference B
+  p.touch(E);  // fault: B's reference bit protects it
+  EXPECT_EQ(p.touch(B), 0u) << "recently referenced page must survive";
+}
+
+TEST(Paging, DisabledNeverFaults) {
+  PagingConfig cfg;
+  cfg.enabled = false;
+  cfg.visible_bytes = 0;
+  PagingModel p(cfg);
+  for (u64 i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.touch(i * 4 * KiB), 0u);
+  }
+  EXPECT_EQ(p.stats().faults, 0u);
+}
+
+TEST(Paging, HighVisibilityAbsorbsLargeFootprint) {
+  // A design with 11 GB visible should fault less than one with 10 GB on
+  // an 10.5 GB working set.
+  PagingConfig big = tiny(0);
+  big.visible_bytes = 11 * GiB;
+  PagingConfig small = tiny(0);
+  small.visible_bytes = 10 * GiB;
+  PagingModel pb(big), ps(small);
+  // Touch 10.5 GiB worth of 4 KiB pages twice: the 11 GiB-visible design
+  // absorbs the working set; the 10 GiB one faults on the second round.
+  const u64 pages = (10 * GiB + 512 * MiB) / (4 * KiB);
+  for (int round = 0; round < 2; ++round) {
+    for (u64 i = 0; i < pages; ++i) {
+      pb.touch(i * 4 * KiB);
+      ps.touch(i * 4 * KiB);
+    }
+  }
+  EXPECT_EQ(pb.stats().faults, 0u);
+  EXPECT_GT(ps.stats().faults, 0u);
+}
+
+}  // namespace
+}  // namespace bb::hmm

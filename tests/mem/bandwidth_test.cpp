@@ -1,0 +1,116 @@
+// Bandwidth and contention properties of the DRAM device model: sustained
+// sequential bandwidth approaches the pin rate, random access is
+// bank-limited, HBM out-runs DDR4, and more channels mean more throughput.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mem/dram_device.h"
+
+namespace bb::mem {
+namespace {
+
+/// Streams `total` bytes sequentially and returns achieved GB/s.
+double sequential_bandwidth(DramDevice& dev, u64 total) {
+  Tick done = 0;
+  const u64 chunk = 4 * KiB;
+  for (u64 a = 0; a < total; a += chunk) {
+    done = dev.access(a % dev.capacity(), chunk, AccessType::kRead, 0)
+               .complete;
+  }
+  return static_cast<double>(total) / ticks_to_s(done) / 1e9;
+}
+
+/// Random 64 B reads issued back-to-back; returns achieved GB/s.
+double random_bandwidth(DramDevice& dev, u64 accesses) {
+  Rng rng(3);
+  Tick done = 0;
+  for (u64 i = 0; i < accesses; ++i) {
+    done = dev.access(rng.next_below(dev.capacity() / 64) * 64, 64,
+                      AccessType::kRead, 0)
+               .complete;
+  }
+  return static_cast<double>(accesses * 64) / ticks_to_s(done) / 1e9;
+}
+
+TEST(Bandwidth, SequentialApproachesPeak) {
+  auto p = DramTimingParams::hbm2_1gb();
+  p.refresh_enabled = false;
+  DramDevice dev(p);
+  const double bw = sequential_bandwidth(dev, 64 * MiB);
+  const double peak = p.peak_bandwidth_bps() / 1e9;
+  EXPECT_GT(bw, 0.60 * peak) << "achieved " << bw << " of " << peak;
+  EXPECT_LE(bw, peak * 1.01);
+}
+
+TEST(Bandwidth, Ddr4SequentialApproachesPeak) {
+  auto p = DramTimingParams::ddr4_3200_10gb();
+  p.refresh_enabled = false;
+  DramDevice dev(p);
+  const double bw = sequential_bandwidth(dev, 64 * MiB);
+  const double peak = p.peak_bandwidth_bps() / 1e9;
+  EXPECT_GT(bw, 0.60 * peak);
+  EXPECT_LE(bw, peak * 1.01);
+}
+
+TEST(Bandwidth, RandomIsBankLimited) {
+  auto p = DramTimingParams::ddr4_3200_10gb();
+  p.refresh_enabled = false;
+  DramDevice dev(p);
+  const double rand_bw = random_bandwidth(dev, 200'000);
+  DramDevice dev2(p);
+  const double seq_bw = sequential_bandwidth(dev2, 16 * MiB);
+  EXPECT_LT(rand_bw, 0.7 * seq_bw)
+      << "random " << rand_bw << " vs sequential " << seq_bw;
+}
+
+TEST(Bandwidth, HbmOutrunsDdr4OnRandomTraffic) {
+  auto hp = DramTimingParams::hbm2_1gb();
+  hp.refresh_enabled = false;
+  auto dp = DramTimingParams::ddr4_3200_10gb();
+  dp.refresh_enabled = false;
+  DramDevice hbm(hp), ddr(dp);
+  EXPECT_GT(random_bandwidth(hbm, 200'000), random_bandwidth(ddr, 200'000));
+}
+
+TEST(Bandwidth, MoreChannelsMoreThroughput) {
+  auto p1 = DramTimingParams::hbm2_1gb();
+  p1.refresh_enabled = false;
+  auto p2 = p1;
+  p2.channels = 4;  // half the channels
+  DramDevice full(p1), half(p2);
+  EXPECT_GT(random_bandwidth(full, 100'000), random_bandwidth(half, 100'000));
+}
+
+TEST(Bandwidth, LoadedLatencyExceedsUnloaded) {
+  auto p = DramTimingParams::hbm2_1gb();
+  p.refresh_enabled = false;
+  DramDevice dev(p);
+  const Tick unloaded = dev.access(0, 64, AccessType::kRead,
+                                   ns_to_ticks(10'000)).latency();
+  // Saturate, then measure.
+  Rng rng(9);
+  Tick t = ns_to_ticks(20'000);
+  Tick last_latency = 0;
+  for (int i = 0; i < 5000; ++i) {
+    last_latency =
+        dev.access(rng.next_below(dev.capacity() / 64) * 64, 64,
+                   AccessType::kRead, t)
+            .latency();
+  }
+  EXPECT_GT(last_latency, unloaded);
+}
+
+TEST(Bandwidth, WriteStreamsAtBurstRateToo) {
+  auto p = DramTimingParams::hbm2_1gb();
+  p.refresh_enabled = false;
+  DramDevice dev(p);
+  Tick done = 0;
+  for (u64 a = 0; a < 16 * MiB; a += 4 * KiB) {
+    done = dev.access(a, 4 * KiB, AccessType::kWrite, 0).complete;
+  }
+  const double bw = (16.0 * MiB) / ticks_to_s(done) / 1e9;
+  EXPECT_GT(bw, 0.5 * p.peak_bandwidth_bps() / 1e9);
+}
+
+}  // namespace
+}  // namespace bb::mem

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "mem/dram_device.h"
+
+namespace bb::mem {
+namespace {
+
+DramTimingParams with_refresh(bool enabled) {
+  auto p = DramTimingParams::hbm2_1gb();
+  p.refresh_enabled = enabled;
+  return p;
+}
+
+TEST(Refresh, CountsWindows) {
+  DramDevice dev(with_refresh(true));
+  // Access well past several tREFI intervals.
+  dev.access(0, 64, AccessType::kRead, ns_to_ticks(20'000));
+  EXPECT_GE(dev.stats().refreshes, 4u);  // ~20 us / 3.9 us
+}
+
+TEST(Refresh, DisabledCountsNothing) {
+  DramDevice dev(with_refresh(false));
+  dev.access(0, 64, AccessType::kRead, ns_to_ticks(100'000));
+  EXPECT_EQ(dev.stats().refreshes, 0u);
+}
+
+TEST(Refresh, ClosesOpenRows) {
+  DramDevice dev(with_refresh(true));
+  dev.access(0, 64, AccessType::kRead, 0);  // opens a row
+  // After a refresh boundary the row must be re-activated (row_empty).
+  dev.access(64, 64, AccessType::kRead, ns_to_ticks(5'000));
+  EXPECT_EQ(dev.stats().row_hits, 0u);
+  EXPECT_EQ(dev.stats().row_empty, 2u);
+}
+
+TEST(Refresh, AccessDuringWindowIsDelayed) {
+  auto p = with_refresh(true);
+  p.trefi_ns = 1000;
+  p.trfc_ns = 500;
+  DramDevice dev(p);
+  // First refresh at 1 us; an access issued at exactly 1 us waits ~500 ns
+  // extra compared to an unrefreshed device.
+  DramDevice no_ref(with_refresh(false));
+  const auto delayed = dev.access(0, 64, AccessType::kRead,
+                                  ns_to_ticks(1000));
+  const auto clean = no_ref.access(0, 64, AccessType::kRead,
+                                   ns_to_ticks(1000));
+  EXPECT_GE(delayed.complete, clean.complete + ns_to_ticks(400));
+}
+
+TEST(Refresh, IdleGapsFastForwardWithoutStall) {
+  auto p = with_refresh(true);
+  DramDevice dev(p);
+  // A very long idle gap: refreshes during idle must not delay the access
+  // by more than one tRFC.
+  const Tick t = ns_to_ticks(100'000'000);  // 100 ms idle
+  const auto r = dev.access(0, 64, AccessType::kRead, t);
+  EXPECT_LT(r.latency(), ns_to_ticks(1000));
+  EXPECT_GT(dev.stats().refreshes, 20'000u);  // ~100ms / 3.9us
+}
+
+TEST(Turnaround, WriteToReadPaysWtr) {
+  auto p = with_refresh(false);
+  DramDevice dev(p);
+  const auto w = dev.access(0, 64, AccessType::kWrite, 0);
+  // Read right after the write to the same bank: must wait tWTR past the
+  // write burst.
+  const auto r = dev.access(64, 64, AccessType::kRead, w.complete);
+  DramDevice dev2(p);
+  const auto r1 = dev2.access(0, 64, AccessType::kRead, 0);
+  const auto r2 = dev2.access(64, 64, AccessType::kRead, r1.complete);
+  EXPECT_GT(r.latency(), r2.latency());
+}
+
+}  // namespace
+}  // namespace bb::mem

@@ -1,0 +1,81 @@
+#include "mem/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::mem {
+namespace {
+
+TEST(Timing, Hbm2MatchesTableI) {
+  const auto p = DramTimingParams::hbm2_1gb();
+  EXPECT_EQ(p.capacity_bytes, 1 * GiB);
+  EXPECT_EQ(p.channels, 8u);
+  EXPECT_EQ(p.banks_per_channel, 8u);
+  EXPECT_EQ(p.bus_bits, 128u);
+  EXPECT_EQ(p.interleave_bytes, 512u);
+  EXPECT_EQ(p.tCAS, 7u);
+  EXPECT_EQ(p.tRCD, 7u);
+  EXPECT_EQ(p.tRP, 7u);
+  EXPECT_DOUBLE_EQ(p.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(p.idd0, 65);
+  EXPECT_DOUBLE_EQ(p.idd2p, 28);
+  EXPECT_DOUBLE_EQ(p.idd2n, 40);
+  EXPECT_DOUBLE_EQ(p.idd3p, 40);
+  EXPECT_DOUBLE_EQ(p.idd3n, 55);
+  EXPECT_DOUBLE_EQ(p.idd4w, 500);
+  EXPECT_DOUBLE_EQ(p.idd4r, 390);
+  EXPECT_DOUBLE_EQ(p.idd5, 250);
+  EXPECT_DOUBLE_EQ(p.idd6, 31);
+}
+
+TEST(Timing, Ddr4MatchesTableI) {
+  const auto p = DramTimingParams::ddr4_3200_10gb();
+  EXPECT_EQ(p.capacity_bytes, 10 * GiB);
+  EXPECT_EQ(p.channels, 2u);
+  EXPECT_EQ(p.banks_per_channel, 8u);
+  EXPECT_EQ(p.bus_bits, 64u);
+  EXPECT_EQ(p.tCAS, 22u);
+  EXPECT_EQ(p.tRCD, 22u);
+  EXPECT_EQ(p.tRP, 22u);
+  EXPECT_DOUBLE_EQ(p.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(p.idd0, 52);
+  EXPECT_DOUBLE_EQ(p.idd4w, 130);
+  EXPECT_DOUBLE_EQ(p.idd4r, 143);
+}
+
+TEST(Timing, BurstBytesIs64ForBoth) {
+  // 128-bit x BL4 = 64 B (HBM2); 64-bit x BL8 = 64 B (DDR4).
+  EXPECT_EQ(DramTimingParams::hbm2_1gb().burst_bytes(), 64u);
+  EXPECT_EQ(DramTimingParams::ddr4_3200_10gb().burst_bytes(), 64u);
+}
+
+TEST(Timing, BurstTicks) {
+  // HBM2: BL4 at DDR = 2 cycles of 1 ns = 2000 ticks.
+  EXPECT_EQ(DramTimingParams::hbm2_1gb().burst_ticks(), 2000u);
+  // DDR4-3200: BL8 at DDR = 4 cycles of 0.625 ns = 2500 ticks.
+  EXPECT_EQ(DramTimingParams::ddr4_3200_10gb().burst_ticks(), 2500u);
+}
+
+TEST(Timing, PeakBandwidth) {
+  // HBM2: 8 ch x 16 B x 2 GT/s = 256 GB/s.
+  EXPECT_NEAR(DramTimingParams::hbm2_1gb().peak_bandwidth_bps(), 256e9,
+              1e9);
+  // DDR4-3200: 2 ch x 8 B x 3.2 GT/s = 51.2 GB/s.
+  EXPECT_NEAR(DramTimingParams::ddr4_3200_10gb().peak_bandwidth_bps(),
+              51.2e9, 1e9);
+}
+
+TEST(Timing, CyclesToTicks) {
+  const auto h = DramTimingParams::hbm2_1gb();
+  EXPECT_EQ(h.cycles_to_ticks(7), 7000u);  // 7 cycles at 1 ns
+  const auto d = DramTimingParams::ddr4_3200_10gb();
+  EXPECT_EQ(d.cycles_to_ticks(22), 13750u);  // 22 x 0.625 ns
+}
+
+TEST(Timing, RowsPerBank) {
+  const auto h = DramTimingParams::hbm2_1gb();
+  // 1 GiB / 8 ch / 8 banks / 2 KiB rows = 8192 rows.
+  EXPECT_EQ(h.rows_per_bank(), 8192u);
+}
+
+}  // namespace
+}  // namespace bb::mem

@@ -1,0 +1,142 @@
+#include "sim/core_model.h"
+
+#include <gtest/gtest.h>
+
+#include "hmm/controller.h"
+
+namespace bb::sim {
+namespace {
+
+/// Memory with a constant latency: isolates the core timing model.
+class FixedLatencyController : public hmm::HybridMemoryController {
+ public:
+  FixedLatencyController(mem::DramDevice& hbm, mem::DramDevice& dram,
+                         Tick latency)
+      : HybridMemoryController("fixed", hbm, dram,
+                               hmm::PagingConfig{.enabled = false}),
+        latency_(latency) {}
+
+  u64 metadata_sram_bytes() const override { return 0; }
+
+ protected:
+  hmm::HmmResult service(Addr, AccessType, Tick now) override {
+    hmm::HmmResult r;
+    r.complete = now + latency_;
+    return r;
+  }
+
+ private:
+  Tick latency_;
+};
+
+class CoreModelTest : public ::testing::Test {
+ protected:
+  CoreModelTest()
+      : hbm_(mem::DramTimingParams::hbm2_1gb()),
+        dram_(mem::DramTimingParams::ddr4_3200_10gb()) {}
+
+  mem::DramDevice hbm_;
+  mem::DramDevice dram_;
+};
+
+TEST_F(CoreModelTest, ZeroLatencyMemoryGivesBaseIpc) {
+  CoreParams p;
+  p.cores = 1;
+  p.hierarchy_latency = 0;
+  CoreModel core(p);
+  FixedLatencyController mem(hbm_, dram_, 0);
+  trace::TraceGenerator gen(trace::WorkloadProfile::by_name("mcf"), 1);
+  const auto r = core.run(gen, 1'000'000, mem);
+  // IPC approaches 1/base_cpi = 4.
+  EXPECT_NEAR(r.ipc(p.freq_ghz), 1.0 / p.base_cpi, 0.2);
+}
+
+TEST_F(CoreModelTest, SlowerMemoryLowersIpc) {
+  CoreParams p;
+  p.cores = 1;
+  CoreModel core(p);
+  FixedLatencyController fast(hbm_, dram_, ns_to_ticks(20));
+  FixedLatencyController slow(hbm_, dram_, ns_to_ticks(200));
+  trace::TraceGenerator g1(trace::WorkloadProfile::by_name("mcf"), 1);
+  trace::TraceGenerator g2(trace::WorkloadProfile::by_name("mcf"), 1);
+  const auto rf = core.run(g1, 500'000, fast);
+  const auto rs = core.run(g2, 500'000, slow);
+  EXPECT_GT(rf.ipc(p.freq_ghz), rs.ipc(p.freq_ghz) * 1.5);
+}
+
+TEST_F(CoreModelTest, IsolatedMissExposesFullLatency) {
+  // With MPKI ~0.1 (gaps of ~10000 instructions > ROB window), each miss
+  // must stall the core for its full memory latency.
+  CoreParams p;
+  p.cores = 1;
+  p.hierarchy_latency = 0;
+  CoreModel core(p);
+  const Tick lat = ns_to_ticks(1000);
+  FixedLatencyController mem(hbm_, dram_, lat);
+  trace::TraceGenerator gen(trace::WorkloadProfile::by_name("leela"), 1);
+  const auto r = core.run(gen, 2'000'000, mem);
+  // Elapsed >= compute time + misses * latency (almost no overlap).
+  const Tick compute = static_cast<Tick>(2'000'000 * p.base_cpi /
+                                         p.freq_ghz * 1000);
+  EXPECT_GT(r.elapsed, compute + r.misses * lat * 9 / 10);
+}
+
+TEST_F(CoreModelTest, BurstyMissesOverlapUpToMlp) {
+  // Dense misses (every instruction... high MPKI): with MLP 8 the stall
+  // per miss is ~latency/8 once the pipeline fills.
+  CoreParams p;
+  p.cores = 1;
+  p.hierarchy_latency = 0;
+  p.rob_window = 10000;
+  p.mlp = 8;
+  CoreModel core(p);
+  const Tick lat = ns_to_ticks(800);
+  FixedLatencyController mem(hbm_, dram_, lat);
+  trace::TraceGenerator gen(trace::WorkloadProfile::by_name("roms"), 1);
+  const auto r = core.run(gen, 1'000'000, mem);
+  // With overlap, elapsed must be far below misses * latency.
+  EXPECT_LT(r.elapsed, r.misses * lat / 4);
+}
+
+TEST_F(CoreModelTest, MultiCoreAggregatesInstructions) {
+  CoreParams p;
+  p.cores = 4;
+  CoreModel core(p);
+  FixedLatencyController mem(hbm_, dram_, ns_to_ticks(50));
+  const auto r = core.run(trace::WorkloadProfile::by_name("mcf"), 7,
+                          1'000'000, mem);
+  EXPECT_GE(r.instructions, 1'000'000u);
+  EXPECT_GT(r.misses, 0u);
+  // Aggregate IPC of 4 cores can exceed a single core's ceiling.
+  EXPECT_GT(r.ipc(p.freq_ghz), 1.0 / p.base_cpi);
+}
+
+TEST_F(CoreModelTest, WarmupResetsMeasurement) {
+  CoreParams p;
+  p.cores = 2;
+  CoreModel core(p);
+  FixedLatencyController mem(hbm_, dram_, ns_to_ticks(50));
+  const auto r = core.run(trace::WorkloadProfile::by_name("mcf"), 7,
+                          500'000, mem, /*warmup_instructions=*/500'000);
+  // Measured window covers ~500k instructions, not 1M.
+  EXPECT_LT(r.instructions, 600'000u);
+  // Stats were reset at the warmup boundary.
+  EXPECT_EQ(mem.stats().requests, r.misses);
+}
+
+TEST_F(CoreModelTest, DeterministicAcrossRuns) {
+  CoreParams p;
+  CoreModel core(p);
+  FixedLatencyController m1(hbm_, dram_, ns_to_ticks(80));
+  const auto r1 = core.run(trace::WorkloadProfile::by_name("wrf"), 3,
+                           300'000, m1);
+  FixedLatencyController m2(hbm_, dram_, ns_to_ticks(80));
+  const auto r2 = core.run(trace::WorkloadProfile::by_name("wrf"), 3,
+                           300'000, m2);
+  EXPECT_EQ(r1.elapsed, r2.elapsed);
+  EXPECT_EQ(r1.misses, r2.misses);
+  EXPECT_EQ(r1.instructions, r2.instructions);
+}
+
+}  // namespace
+}  // namespace bb::sim

@@ -1,0 +1,83 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bb::sim {
+namespace {
+
+RunResult fake(const char* design, const char* workload, double ipc) {
+  RunResult r;
+  r.design = design;
+  r.workload = workload;
+  r.ipc = ipc;
+  r.instructions = 1000;
+  r.misses = 10;
+  return r;
+}
+
+TEST(Experiment, ForDesignFilters) {
+  ExperimentRunner ex;
+  ex.add(fake("A", "mcf", 1.0));
+  ex.add(fake("B", "mcf", 2.0));
+  ex.add(fake("A", "xz", 3.0));
+  const auto a = ex.for_design("A");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].workload, "mcf");
+  EXPECT_EQ(a[1].workload, "xz");
+}
+
+TEST(Experiment, NormalizedAgainstBaseline) {
+  ExperimentRunner ex;
+  ex.add(fake("base", "mcf", 1.0));
+  ex.add(fake("base", "xz", 2.0));
+  ex.add(fake("A", "mcf", 3.0));
+  ex.add(fake("A", "xz", 5.0));
+  const auto n = ex.normalized("A", "base", metric_ipc);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_DOUBLE_EQ(n[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(n[1].second, 2.5);
+}
+
+TEST(Experiment, NormalizedSkipsMissingBaseline) {
+  ExperimentRunner ex;
+  ex.add(fake("base", "mcf", 1.0));
+  ex.add(fake("A", "mcf", 2.0));
+  ex.add(fake("A", "xz", 9.0));  // no baseline row for xz
+  EXPECT_EQ(ex.normalized("A", "base", metric_ipc).size(), 1u);
+}
+
+TEST(Experiment, CsvHasHeaderAndRows) {
+  ExperimentRunner ex;
+  ex.add(fake("A", "mcf", 1.25));
+  std::ostringstream os;
+  ex.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("design,workload"), std::string::npos);
+  EXPECT_NE(out.find("A,mcf"), std::string::npos);
+  EXPECT_NE(out.find("1.2500"), std::string::npos);
+}
+
+TEST(Experiment, RunMatrixEndToEnd) {
+  SystemConfig cfg;
+  cfg.hbm.capacity_bytes = 32 * MiB;
+  cfg.dram.capacity_bytes = 320 * MiB;
+  cfg.core.cores = 1;
+  cfg.warmup_ratio = 0.0;
+  ExperimentRunner ex(cfg);
+  int callbacks = 0;
+  ex.run_matrix({"DRAM-only", "Bumblebee"},
+                {trace::WorkloadProfile::by_name("mcf")},
+                /*target_misses=*/500,
+                [&](const RunResult&) { ++callbacks; },
+                /*min_instructions=*/100'000, /*max_instructions=*/200'000);
+  EXPECT_EQ(callbacks, 2);
+  EXPECT_EQ(ex.results().size(), 2u);
+  const auto n = ex.normalized("Bumblebee", "DRAM-only", metric_ipc);
+  ASSERT_EQ(n.size(), 1u);
+  EXPECT_GT(n[0].second, 0.0);
+}
+
+}  // namespace
+}  // namespace bb::sim

@@ -1,0 +1,117 @@
+#include "trace/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace bb::trace {
+namespace {
+
+TEST(Generator, Deterministic) {
+  const auto& w = WorkloadProfile::by_name("mcf");
+  TraceGenerator a(w, 42), b(w, 42);
+  for (int i = 0; i < 10000; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    ASSERT_EQ(ra.addr, rb.addr);
+    ASSERT_EQ(ra.inst_gap, rb.inst_gap);
+    ASSERT_EQ(ra.type, rb.type);
+  }
+}
+
+TEST(Generator, SeedsProduceDifferentStreams) {
+  const auto& w = WorkloadProfile::by_name("mcf");
+  TraceGenerator a(w, 1), b(w, 2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().addr == b.next().addr) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
+TEST(Generator, AddressesAlignedAndBounded) {
+  const auto& w = WorkloadProfile::by_name("wrf");
+  TraceGenerator gen(w, 3);
+  for (int i = 0; i < 50000; ++i) {
+    const auto r = gen.next();
+    ASSERT_EQ(r.addr % kLineBytes, 0u);
+    ASSERT_LT(r.addr, w.footprint_bytes());
+  }
+}
+
+TEST(Generator, HotRegionSizeTracksSpatialAxis) {
+  // wrf (weak spatial) must have much smaller hot regions than mcf
+  // (strong spatial) — the Figure 1 mechanism.
+  TraceGenerator mcf(WorkloadProfile::by_name("mcf"), 1);
+  TraceGenerator wrf(WorkloadProfile::by_name("wrf"), 1);
+  EXPECT_GT(mcf.hot_region_bytes(), wrf.hot_region_bytes());
+  EXPECT_GE(mcf.hot_region_bytes(), 32 * KiB);
+  EXPECT_LE(wrf.hot_region_bytes(), 4 * KiB);
+}
+
+TEST(Generator, HotSetCapped) {
+  // 10.6 GB footprint with default hot fraction would exceed the cap.
+  TraceGenerator roms(WorkloadProfile::by_name("roms"), 1);
+  EXPECT_LE(roms.hot_region_count() * roms.hot_region_bytes(),
+            kMaxHotSetBytes);
+}
+
+class ProfileCalibrationTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ProfileCalibrationTest, MpkiWithinTolerance) {
+  const auto& w = WorkloadProfile::by_name(GetParam());
+  TraceGenerator gen(w, 99);
+  const auto recs = gen.take(100'000);
+  const auto s = measure_stream(recs);
+  const double gen_mpki = 1000.0 / s.mean_inst_gap;
+  EXPECT_NEAR(gen_mpki / w.mpki, 1.0, 0.05) << w.name;
+}
+
+TEST_P(ProfileCalibrationTest, WriteFractionWithinTolerance) {
+  const auto& w = WorkloadProfile::by_name(GetParam());
+  TraceGenerator gen(w, 100);
+  const auto recs = gen.take(100'000);
+  const auto s = measure_stream(recs);
+  EXPECT_NEAR(s.write_fraction, w.write_fraction, 0.02) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileCalibrationTest,
+    ::testing::Values("roms", "lbm", "bwaves", "wrf", "xalancbmk", "mcf",
+                      "cam4", "cactuBSSN", "fotonik3d", "x264", "nab",
+                      "namd", "xz", "leela"));
+
+TEST(Generator, LocalityAxesOrdering) {
+  // Measured spatial locality (block use in 64 KB pages): mcf > wrf.
+  // Measured temporal locality (top-1% page share): wrf > xz.
+  auto measure = [](const char* name) {
+    TraceGenerator gen(WorkloadProfile::by_name(name), 5);
+    return measure_stream(gen.take(300'000));
+  };
+  const auto mcf = measure("mcf");
+  const auto wrf = measure("wrf");
+  const auto xz = measure("xz");
+  EXPECT_GT(mcf.page64k_block_use, wrf.page64k_block_use);
+  EXPECT_GT(wrf.top1pct_share, xz.top1pct_share);
+}
+
+TEST(Generator, TakeReturnsExactCount) {
+  TraceGenerator gen(WorkloadProfile::by_name("leela"), 8);
+  EXPECT_EQ(gen.take(1234).size(), 1234u);
+}
+
+TEST(MeasureStream, EmptyStream) {
+  const auto s = measure_stream({});
+  EXPECT_EQ(s.unique_pages_4k, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_inst_gap, 0.0);
+}
+
+TEST(MeasureStream, SingleRecord) {
+  std::vector<TraceRecord> recs = {{10, 64, AccessType::kWrite}};
+  const auto s = measure_stream(recs);
+  EXPECT_DOUBLE_EQ(s.mean_inst_gap, 10.0);
+  EXPECT_DOUBLE_EQ(s.write_fraction, 1.0);
+  EXPECT_EQ(s.unique_pages_4k, 1u);
+}
+
+}  // namespace
+}  // namespace bb::trace

@@ -1,0 +1,104 @@
+#include "trace/trace_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace bb::trace {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceFile, RoundTrip) {
+  const auto& w = WorkloadProfile::by_name("mcf");
+  TraceGenerator gen(w, 21);
+  const auto original = gen.take(5000);
+
+  const std::string path = tmp_path("roundtrip.bbtrace");
+  ASSERT_TRUE(save_trace(path, original));
+  bool ok = false;
+  const auto loaded = load_trace(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    ASSERT_EQ(loaded[i].addr, original[i].addr);
+    ASSERT_EQ(loaded[i].inst_gap, original[i].inst_gap);
+    ASSERT_EQ(loaded[i].type, original[i].type);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptyTrace) {
+  const std::string path = tmp_path("empty.bbtrace");
+  ASSERT_TRUE(save_trace(path, {}));
+  bool ok = false;
+  const auto loaded = load_trace(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileFails) {
+  bool ok = true;
+  const auto loaded = load_trace(tmp_path("does-not-exist.bbtrace"), &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TraceFile, RejectsCorruptHeader) {
+  const std::string path = tmp_path("corrupt.bbtrace");
+  std::ofstream f(path, std::ios::binary);
+  f << "not a trace file at all";
+  f.close();
+  bool ok = true;
+  const auto loaded = load_trace(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsTruncatedBody) {
+  const std::string path = tmp_path("truncated.bbtrace");
+  TraceGenerator gen(WorkloadProfile::by_name("xz"), 4);
+  ASSERT_TRUE(save_trace(path, gen.take(100)));
+  // Truncate mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  ASSERT_EQ(0, ::ftruncate(::fileno(f), size - 13));
+  std::fclose(f);
+  bool ok = true;
+  const auto loaded = load_trace(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Replayer, LoopsOverRecords) {
+  std::vector<TraceRecord> recs = {
+      {1, 0, AccessType::kRead},
+      {2, 64, AccessType::kWrite},
+      {3, 128, AccessType::kRead},
+  };
+  TraceReplayer rep(recs);
+  EXPECT_EQ(rep.size(), 3u);
+  EXPECT_EQ(rep.next().addr, 0u);
+  EXPECT_EQ(rep.next().addr, 64u);
+  EXPECT_EQ(rep.next().addr, 128u);
+  EXPECT_EQ(rep.laps(), 1u);
+  EXPECT_EQ(rep.next().addr, 0u);  // wrapped
+}
+
+TEST(Replayer, EmptyIsBenign) {
+  TraceReplayer rep({});
+  const auto r = rep.next();
+  EXPECT_EQ(r.inst_gap, 1u);
+  EXPECT_EQ(r.addr, 0u);
+}
+
+}  // namespace
+}  // namespace bb::trace

@@ -1,0 +1,91 @@
+#include "trace/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bb::trace {
+namespace {
+
+TEST(Workload, FourteenBenchmarks) {
+  EXPECT_EQ(WorkloadProfile::spec2017().size(), 14u);
+}
+
+TEST(Workload, TableIIValues) {
+  const auto& roms = WorkloadProfile::by_name("roms");
+  EXPECT_DOUBLE_EQ(roms.mpki, 31.9);
+  EXPECT_DOUBLE_EQ(roms.footprint_gb, 10.6);
+  EXPECT_EQ(roms.mpki_class, MpkiClass::kHigh);
+
+  const auto& mcf = WorkloadProfile::by_name("mcf");
+  EXPECT_DOUBLE_EQ(mcf.mpki, 16.1);
+  EXPECT_DOUBLE_EQ(mcf.footprint_gb, 0.2);
+  EXPECT_EQ(mcf.mpki_class, MpkiClass::kMedium);
+
+  const auto& leela = WorkloadProfile::by_name("leela");
+  EXPECT_DOUBLE_EQ(leela.mpki, 0.1);
+  EXPECT_EQ(leela.mpki_class, MpkiClass::kLow);
+}
+
+TEST(Workload, PaperLocalityTaxonomy) {
+  // Section II-B: mcf strong/strong, wrf weak-spatial/strong-temporal,
+  // xz strong-spatial/weak-temporal.
+  const auto& mcf = WorkloadProfile::by_name("mcf");
+  const auto& wrf = WorkloadProfile::by_name("wrf");
+  const auto& xz = WorkloadProfile::by_name("xz");
+  EXPECT_GT(mcf.spatial, 0.7);
+  EXPECT_GT(mcf.temporal, 0.7);
+  EXPECT_LT(wrf.spatial, 0.4);
+  EXPECT_GT(wrf.temporal, 0.7);
+  EXPECT_GT(xz.spatial, 0.7);
+  EXPECT_LT(xz.temporal, 0.3);
+}
+
+TEST(Workload, ByNameThrowsOnUnknown) {
+  EXPECT_THROW(WorkloadProfile::by_name("nonexistent"), std::out_of_range);
+}
+
+TEST(Workload, ByClassPartition) {
+  std::set<std::string> all;
+  std::size_t total = 0;
+  for (MpkiClass c :
+       {MpkiClass::kHigh, MpkiClass::kMedium, MpkiClass::kLow}) {
+    for (const auto& w : WorkloadProfile::by_class(c)) {
+      EXPECT_EQ(w.mpki_class, c);
+      all.insert(w.name);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, 14u);
+  EXPECT_EQ(all.size(), 14u);
+}
+
+TEST(Workload, GroupSizesMatchTableII) {
+  EXPECT_EQ(WorkloadProfile::by_class(MpkiClass::kHigh).size(), 4u);
+  EXPECT_EQ(WorkloadProfile::by_class(MpkiClass::kMedium).size(), 4u);
+  EXPECT_EQ(WorkloadProfile::by_class(MpkiClass::kLow).size(), 6u);
+}
+
+TEST(Workload, MeanGapInverseOfMpki) {
+  const auto& w = WorkloadProfile::by_name("wrf");
+  EXPECT_NEAR(w.mean_inst_gap(), 1000.0 / 18.5, 1e-9);
+}
+
+TEST(Workload, MixtureWeightsSane) {
+  for (const auto& w : WorkloadProfile::spec2017()) {
+    EXPECT_GT(w.w_hot, 0.0) << w.name;
+    EXPECT_GT(w.w_scan, 0.0) << w.name;
+    EXPECT_LE(w.w_hot + w.w_scan, 1.0) << w.name;
+    EXPECT_GT(w.hot_fraction, 0.0) << w.name;
+    EXPECT_GT(w.zipf_s, 0.0) << w.name;
+  }
+}
+
+TEST(Workload, ClassNames) {
+  EXPECT_STREQ(to_string(MpkiClass::kHigh), "High");
+  EXPECT_STREQ(to_string(MpkiClass::kMedium), "Medium");
+  EXPECT_STREQ(to_string(MpkiClass::kLow), "Low");
+}
+
+}  // namespace
+}  // namespace bb::trace
