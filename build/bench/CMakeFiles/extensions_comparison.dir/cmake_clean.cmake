@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extensions_comparison.dir/extensions_comparison.cpp.o"
+  "CMakeFiles/extensions_comparison.dir/extensions_comparison.cpp.o.d"
+  "extensions_comparison"
+  "extensions_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extensions_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

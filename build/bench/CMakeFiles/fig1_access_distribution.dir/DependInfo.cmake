@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_access_distribution.cpp" "bench/CMakeFiles/fig1_access_distribution.dir/fig1_access_distribution.cpp.o" "gcc" "bench/CMakeFiles/fig1_access_distribution.dir/fig1_access_distribution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/bumblebee/CMakeFiles/bb_bumblebee.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/bb_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

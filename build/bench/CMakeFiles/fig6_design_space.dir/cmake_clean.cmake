@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_design_space.dir/fig6_design_space.cpp.o"
+  "CMakeFiles/fig6_design_space.dir/fig6_design_space.cpp.o.d"
+  "fig6_design_space"
+  "fig6_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

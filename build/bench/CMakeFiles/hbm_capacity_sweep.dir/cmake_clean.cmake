@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hbm_capacity_sweep.dir/hbm_capacity_sweep.cpp.o"
+  "CMakeFiles/hbm_capacity_sweep.dir/hbm_capacity_sweep.cpp.o.d"
+  "hbm_capacity_sweep"
+  "hbm_capacity_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hbm_capacity_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mal_analysis.dir/mal_analysis.cpp.o"
+  "CMakeFiles/mal_analysis.dir/mal_analysis.cpp.o.d"
+  "mal_analysis"
+  "mal_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mal_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

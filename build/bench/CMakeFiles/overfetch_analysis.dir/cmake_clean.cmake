@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overfetch_analysis.dir/overfetch_analysis.cpp.o"
+  "CMakeFiles/overfetch_analysis.dir/overfetch_analysis.cpp.o.d"
+  "overfetch_analysis"
+  "overfetch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overfetch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for overfetch_analysis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_ratio.dir/adaptive_ratio.cpp.o"
+  "CMakeFiles/adaptive_ratio.dir/adaptive_ratio.cpp.o.d"
+  "adaptive_ratio"
+  "adaptive_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

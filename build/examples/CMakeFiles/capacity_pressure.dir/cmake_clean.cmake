@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_pressure.dir/capacity_pressure.cpp.o"
+  "CMakeFiles/capacity_pressure.dir/capacity_pressure.cpp.o.d"
+  "capacity_pressure"
+  "capacity_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

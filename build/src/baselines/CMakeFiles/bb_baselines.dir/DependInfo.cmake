@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/alloy_cache.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/alloy_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/alloy_cache.cpp.o.d"
+  "/root/repo/src/baselines/banshee.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/banshee.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/banshee.cpp.o.d"
+  "/root/repo/src/baselines/chameleon.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/chameleon.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/chameleon.cpp.o.d"
+  "/root/repo/src/baselines/factory.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/factory.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/factory.cpp.o.d"
+  "/root/repo/src/baselines/hybrid2.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/hybrid2.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/hybrid2.cpp.o.d"
+  "/root/repo/src/baselines/mempod.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/mempod.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/mempod.cpp.o.d"
+  "/root/repo/src/baselines/pom.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/pom.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/pom.cpp.o.d"
+  "/root/repo/src/baselines/silcfm.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/silcfm.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/silcfm.cpp.o.d"
+  "/root/repo/src/baselines/unison_cache.cpp" "src/baselines/CMakeFiles/bb_baselines.dir/unison_cache.cpp.o" "gcc" "src/baselines/CMakeFiles/bb_baselines.dir/unison_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/bb_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bumblebee/CMakeFiles/bb_bumblebee.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bb_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_baselines.dir/alloy_cache.cpp.o"
+  "CMakeFiles/bb_baselines.dir/alloy_cache.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/banshee.cpp.o"
+  "CMakeFiles/bb_baselines.dir/banshee.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/chameleon.cpp.o"
+  "CMakeFiles/bb_baselines.dir/chameleon.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/factory.cpp.o"
+  "CMakeFiles/bb_baselines.dir/factory.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/hybrid2.cpp.o"
+  "CMakeFiles/bb_baselines.dir/hybrid2.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/mempod.cpp.o"
+  "CMakeFiles/bb_baselines.dir/mempod.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/pom.cpp.o"
+  "CMakeFiles/bb_baselines.dir/pom.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/silcfm.cpp.o"
+  "CMakeFiles/bb_baselines.dir/silcfm.cpp.o.d"
+  "CMakeFiles/bb_baselines.dir/unison_cache.cpp.o"
+  "CMakeFiles/bb_baselines.dir/unison_cache.cpp.o.d"
+  "libbb_baselines.a"
+  "libbb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

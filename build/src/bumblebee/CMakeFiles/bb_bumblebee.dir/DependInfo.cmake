@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bumblebee/config.cpp" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/config.cpp.o" "gcc" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/config.cpp.o.d"
+  "/root/repo/src/bumblebee/controller.cpp" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/controller.cpp.o" "gcc" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/controller.cpp.o.d"
+  "/root/repo/src/bumblebee/hot_table.cpp" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/hot_table.cpp.o" "gcc" "src/bumblebee/CMakeFiles/bb_bumblebee.dir/hot_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bb_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hmm/CMakeFiles/bb_hmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bb_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_bumblebee.dir/config.cpp.o"
+  "CMakeFiles/bb_bumblebee.dir/config.cpp.o.d"
+  "CMakeFiles/bb_bumblebee.dir/controller.cpp.o"
+  "CMakeFiles/bb_bumblebee.dir/controller.cpp.o.d"
+  "CMakeFiles/bb_bumblebee.dir/hot_table.cpp.o"
+  "CMakeFiles/bb_bumblebee.dir/hot_table.cpp.o.d"
+  "libbb_bumblebee.a"
+  "libbb_bumblebee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_bumblebee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

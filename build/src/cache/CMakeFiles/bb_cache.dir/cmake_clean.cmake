@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_cache.dir/cache.cpp.o"
+  "CMakeFiles/bb_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/bb_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/bb_cache.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/bb_cache.dir/replacement.cpp.o"
+  "CMakeFiles/bb_cache.dir/replacement.cpp.o.d"
+  "libbb_cache.a"
+  "libbb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_hmm.dir/controller.cpp.o"
+  "CMakeFiles/bb_hmm.dir/controller.cpp.o.d"
+  "CMakeFiles/bb_hmm.dir/metadata.cpp.o"
+  "CMakeFiles/bb_hmm.dir/metadata.cpp.o.d"
+  "CMakeFiles/bb_hmm.dir/paging.cpp.o"
+  "CMakeFiles/bb_hmm.dir/paging.cpp.o.d"
+  "libbb_hmm.a"
+  "libbb_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_mem.dir/dram_device.cpp.o"
+  "CMakeFiles/bb_mem.dir/dram_device.cpp.o.d"
+  "CMakeFiles/bb_mem.dir/timing.cpp.o"
+  "CMakeFiles/bb_mem.dir/timing.cpp.o.d"
+  "libbb_mem.a"
+  "libbb_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

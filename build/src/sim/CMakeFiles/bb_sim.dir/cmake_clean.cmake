@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_sim.dir/core_model.cpp.o"
+  "CMakeFiles/bb_sim.dir/core_model.cpp.o.d"
+  "CMakeFiles/bb_sim.dir/experiment.cpp.o"
+  "CMakeFiles/bb_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/bb_sim.dir/system.cpp.o"
+  "CMakeFiles/bb_sim.dir/system.cpp.o.d"
+  "libbb_sim.a"
+  "libbb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bb_trace.dir/generator.cpp.o"
+  "CMakeFiles/bb_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/bb_trace.dir/streams.cpp.o"
+  "CMakeFiles/bb_trace.dir/streams.cpp.o.d"
+  "CMakeFiles/bb_trace.dir/trace_file.cpp.o"
+  "CMakeFiles/bb_trace.dir/trace_file.cpp.o.d"
+  "CMakeFiles/bb_trace.dir/workload.cpp.o"
+  "CMakeFiles/bb_trace.dir/workload.cpp.o.d"
+  "libbb_trace.a"
+  "libbb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

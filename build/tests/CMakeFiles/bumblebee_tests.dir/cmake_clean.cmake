@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/config_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/config_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/controller_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/controller_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/decision_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/decision_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/geometry_sweep_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/geometry_sweep_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/hot_table_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/hot_table_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/integrity_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/integrity_test.cpp.o.d"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/ratio_test.cpp.o"
+  "CMakeFiles/bumblebee_tests.dir/bumblebee/ratio_test.cpp.o.d"
+  "bumblebee_tests"
+  "bumblebee_tests.pdb"
+  "bumblebee_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bumblebee_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmm_tests.dir/hmm/controller_test.cpp.o"
+  "CMakeFiles/hmm_tests.dir/hmm/controller_test.cpp.o.d"
+  "CMakeFiles/hmm_tests.dir/hmm/metadata_test.cpp.o"
+  "CMakeFiles/hmm_tests.dir/hmm/metadata_test.cpp.o.d"
+  "CMakeFiles/hmm_tests.dir/hmm/paging_test.cpp.o"
+  "CMakeFiles/hmm_tests.dir/hmm/paging_test.cpp.o.d"
+  "hmm_tests"
+  "hmm_tests.pdb"
+  "hmm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

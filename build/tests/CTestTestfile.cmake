@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/mem_tests[1]_include.cmake")
+include("/root/repo/build/tests/cache_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/hmm_tests[1]_include.cmake")
+include("/root/repo/build/tests/bumblebee_tests[1]_include.cmake")
+include("/root/repo/build/tests/baselines_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
