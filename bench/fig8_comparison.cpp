@@ -8,44 +8,44 @@
 //       DRAM-only baseline's off-chip traffic)
 //   (d) normalized memory dynamic energy (lower is better)
 //
+// Flags: --jobs N (worker threads, default = all hardware threads).
 // Environment knobs: BB_SIM_SCALE (percent of default run length),
 // BB_TARGET_MISSES (default 120000).
 #include <iostream>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "sim/system.h"
+#include "sim/experiment.h"
 
 using namespace bb;
 
-int main() {
-  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 120'000);
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
   sim::SystemConfig sys_cfg;
   // Steady-state measurement: warm up several multiples of the measured
   // window (BB_WARMUP_PCT, percent of the measured instructions).
   sys_cfg.warmup_ratio =
       static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 300)) / 100.0;
-  sim::System system(sys_cfg);
 
-  std::vector<sim::RunResult> baseline;
-  std::vector<std::vector<sim::RunResult>> results;
   const auto& designs = baselines::figure8_designs();
+  std::vector<std::string> all_designs = {"DRAM-only"};
+  all_designs.insert(all_designs.end(), designs.begin(), designs.end());
+  const auto workloads = trace::WorkloadProfile::spec2017();
 
-  std::cerr << "fig8: simulating " << trace::WorkloadProfile::spec2017().size()
-            << " workloads x " << (designs.size() + 1) << " designs...\n";
-  for (const auto& w : trace::WorkloadProfile::spec2017()) {
-    const u64 instr = sim::default_instructions_for(w, target_misses,
-                                     /*min_instructions=*/50'000'000);
-    baseline.push_back(system.run("DRAM-only", w, instr));
-    std::cerr << "  " << w.name << " (" << instr / 1'000'000 << "M instr)"
-              << std::flush;
-    if (results.empty()) results.resize(designs.size());
-    for (std::size_t d = 0; d < designs.size(); ++d) {
-      results[d].push_back(system.run(designs[d], w, instr));
-      std::cerr << '.' << std::flush;
-    }
-    std::cerr << '\n';
-  }
+  std::cerr << "fig8: simulating " << workloads.size() << " workloads x "
+            << all_designs.size() << " designs...\n";
+  sim::ExperimentRunner runner(sys_cfg);
+  sim::RunMatrixOptions opts;
+  opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
+  opts.progress = true;
+  opts.target_misses = sim::env_u64("BB_TARGET_MISSES", 120'000);
+  opts.min_instructions = 50'000'000;
+  runner.run_matrix(all_designs, workloads, opts);
+
+  const std::vector<sim::RunResult> baseline = runner.for_design("DRAM-only");
+  std::vector<std::vector<sim::RunResult>> results;
+  for (const auto& d : designs) results.push_back(runner.for_design(d));
 
   struct Panel {
     const char* title;

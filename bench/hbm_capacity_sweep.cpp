@@ -2,20 +2,33 @@
 // capacity? The paper evaluates a single 1 GB HBM; this sweep varies the
 // die-stacked capacity from 256 MB to 2 GB (geometry rescales: the number
 // of remapping sets tracks capacity, associativity stays 8).
+//
+// Flags: --jobs N (worker threads, default = all hardware threads).
 #include <iostream>
 
+#include "common/flags.h"
 #include "common/table.h"
-#include "sim/system.h"
+#include "sim/experiment.h"
 
 using namespace bb;
 
-int main() {
-  const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 60'000);
-  const std::vector<std::string> workloads = {"mcf", "wrf", "roms"};
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::vector<std::string> workload_names = {"mcf", "wrf", "roms"};
+  std::vector<trace::WorkloadProfile> workloads;
+  for (const auto& name : workload_names) {
+    workloads.push_back(trace::WorkloadProfile::by_name(name));
+  }
+
+  sim::RunMatrixOptions opts;
+  opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
+  opts.progress = true;
+  opts.target_misses = sim::env_u64("BB_TARGET_MISSES", 60'000);
+  opts.min_instructions = 20'000'000;
 
   std::cout << "Normalized IPC vs HBM capacity (Bumblebee / Banshee)\n";
   std::vector<std::string> headers = {"HBM capacity"};
-  for (const auto& w : workloads) headers.push_back(w);
+  for (const auto& w : workload_names) headers.push_back(w);
   TextTable table(headers);
 
   for (const u64 cap_mb : {256, 512, 1024, 2048}) {
@@ -23,20 +36,21 @@ int main() {
     cfg.hbm.capacity_bytes = cap_mb * MiB;
     cfg.warmup_ratio =
         static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 200)) / 100.0;
-    sim::System system(cfg);
 
+    // Each capacity point is its own matrix: the geometry (and therefore
+    // the System configuration) changes with the device.
+    sim::ExperimentRunner runner(cfg);
+    runner.run_matrix({"DRAM-only", "Bumblebee", "Banshee"}, workloads, opts);
+
+    const auto bumble =
+        runner.normalized("Bumblebee", "DRAM-only", sim::metric_ipc);
+    const auto banshee =
+        runner.normalized("Banshee", "DRAM-only", sim::metric_ipc);
     std::vector<std::string> row = {std::to_string(cap_mb) + " MiB"};
-    for (const auto& name : workloads) {
-      const auto& w = trace::WorkloadProfile::by_name(name);
-      const u64 instr = sim::default_instructions_for(w, target_misses);
-      const auto base = system.run("DRAM-only", w, instr);
-      const auto bb_run = system.run("Bumblebee", w, instr);
-      const auto ban = system.run("Banshee", w, instr);
-      row.push_back(fmt_double(bb_run.ipc / base.ipc, 2) + " / " +
-                    fmt_double(ban.ipc / base.ipc, 2));
-      std::cerr << '.' << std::flush;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      row.push_back(fmt_double(bumble[i].second, 2) + " / " +
+                    fmt_double(banshee[i].second, 2));
     }
-    std::cerr << '\n';
     table.add_row(row);
   }
   table.print(std::cout);

@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     std::cout <<
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
         "              [--misses=N] [--warmup=PCT] [--cores=N] [--csv]\n"
+        "              [--jobs=N]  (N worker threads; default: all)\n"
         "designs: DRAM-only Banshee AC UC Chameleon Hybrid2 Bumblebee\n"
         "         C-Only M-Only 25%-C 50%-C No-Multi Meta-H Alloc-D\n"
         "         Alloc-H No-HMF PoM SILC-FM MemPod | all\n"
@@ -66,10 +67,13 @@ int main(int argc, char** argv) {
   cfg.seed = flags.get_u64("seed", cfg.seed);
 
   sim::ExperimentRunner runner(cfg);
-  runner.run_matrix(designs, workloads, flags.get_u64("misses", 100'000),
-                    [](const sim::RunResult& r) {
-                      std::cerr << r.design << "/" << r.workload << " done\n";
-                    });
+  sim::RunMatrixOptions opts;
+  opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
+  opts.target_misses = flags.get_u64("misses", 100'000);
+  opts.on_result = [](const sim::RunResult& r) {
+    std::cerr << r.design << "/" << r.workload << " done\n";
+  };
+  runner.run_matrix(designs, workloads, opts);
 
   if (flags.has("csv")) {
     runner.write_csv(std::cout);

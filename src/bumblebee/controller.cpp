@@ -224,7 +224,12 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
       st.ble[vf - geo_.m].reset(geo_.blocks_per_page);
     }
     const u32 vc = st.cache_frame_of(victim);
-    if (vc != kNoPage) st.ble[vc].reset(geo_.blocks_per_page);
+    if (vc != kNoPage) {
+      // Tear the cache copy down through the eviction path: its dirty
+      // blocks must reach the off-chip home frame (and be charged as
+      // writeback traffic) before the page leaves memory.
+      evict_frame(st, set, vc, now);
+    }
     st.hot.remove(victim);
     st.new_ple[victim] = kUnallocated;
     st.occup[vf] = false;
@@ -486,7 +491,10 @@ void BumblebeeController::switch_cache_to_mem(SetState& st, u32 set, u32 k,
     move_data(dram(), dram_page_addr, hbm(), hbm_page_addr, geo_.page_bytes,
               now, mem::TrafficClass::kMigration);
     b.fetched.set_all();
-    mutable_stats().blocks_fetched += geo_.blocks_per_page - b.valid.popcount();
+    // The whole page crosses the bus, already-cached blocks included — the
+    // re-fetch of valid blocks is exactly the No-Multi overhead the
+    // ablation measures, so charge every block.
+    mutable_stats().blocks_fetched += geo_.blocks_per_page;
   }
 
   st.new_ple[page] = static_cast<std::int32_t>(geo_.m + k);

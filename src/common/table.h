@@ -20,7 +20,8 @@ class TextTable {
   /// Renders with column alignment and a header separator.
   void print(std::ostream& os) const;
 
-  /// Renders as comma-separated values (quotes cells containing commas).
+  /// Renders as RFC 4180 comma-separated values: cells containing commas,
+  /// double quotes, or line breaks are quoted, embedded quotes doubled.
   void print_csv(std::ostream& os) const;
 
   std::size_t row_count() const { return rows_.size(); }

@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace bb {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads ? threads : default_concurrency();
+  workers_.reserve(n);
+  for (unsigned id = 0; id < n; ++id) {
+    workers_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::default_concurrency() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.emplace_back([t = std::move(task)](unsigned) { t(); });
+    ++in_flight_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, unsigned)>& body) {
+  if (n == 0) return;
+  // One "lane" per worker; each lane pulls the next unclaimed index, so a
+  // slow item never blocks the others. `body` is captured by reference:
+  // this call does not return until every lane has drained.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min<std::size_t>(size(), n);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      queue_.emplace_back([next, n, &body](unsigned worker) {
+        for (std::size_t i = (*next)++; i < n; i = (*next)++) {
+          body(i, worker);
+        }
+      });
+      ++in_flight_;
+    }
+  }
+  work_cv_.notify_all();
+  wait_idle();
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  for (;;) {
+    std::function<void(unsigned)> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task(id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace bb

@@ -1,0 +1,66 @@
+// Minimal fixed-size worker pool for parallel experiment matrices.
+//
+// Tasks are plain callables drained FIFO by a fixed set of workers.
+// parallel_for() adds dynamic (self-balancing) index scheduling with a
+// stable worker id per executing thread, so callers can give each worker
+// its own heavyweight scratch state (e.g. one sim::System per worker).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bb {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 uses default_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks, then stops and joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues one task. An exception escaping a task is captured and
+  /// rethrown from the next wait_idle() call (first one wins).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.
+  void wait_idle();
+
+  /// Runs body(i, worker) for every i in [0, n). Indices are handed out
+  /// dynamically (one at a time), so uneven per-item costs balance across
+  /// workers; `worker` is a stable id < size() identifying the executing
+  /// thread. Blocks until all n calls return; rethrows the first exception
+  /// thrown by `body`.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, unsigned)>& body);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static unsigned default_concurrency();
+
+ private:
+  void worker_loop(unsigned id);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void(unsigned)>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait here for tasks
+  std::condition_variable idle_cv_;  ///< wait_idle waits here for drain
+  std::size_t in_flight_ = 0;        ///< queued + currently running tasks
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace bb

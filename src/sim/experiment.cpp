@@ -1,9 +1,15 @@
 #include "sim/experiment.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <ostream>
 
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace bb::sim {
 
@@ -11,19 +17,125 @@ ExperimentRunner::ExperimentRunner(SystemConfig cfg) : cfg_(std::move(cfg)) {}
 
 void ExperimentRunner::run_matrix(
     const std::vector<std::string>& designs,
+    const std::vector<trace::WorkloadProfile>& workloads,
+    const RunMatrixOptions& opts) {
+  run_cells(
+      designs.size(), workloads,
+      [&designs](System& system, std::size_t d,
+                 const trace::WorkloadProfile& w, u64 instr) {
+        return system.run(designs[d], w, instr);
+      },
+      opts);
+}
+
+void ExperimentRunner::run_matrix(
+    const std::vector<std::string>& designs,
     const std::vector<trace::WorkloadProfile>& workloads, u64 target_misses,
     std::function<void(const RunResult&)> on_result, u64 min_instructions,
     u64 max_instructions) {
-  System system(cfg_);
-  for (const auto& w : workloads) {
-    const u64 instr = default_instructions_for(
-        w, target_misses, min_instructions, max_instructions);
-    for (const auto& d : designs) {
-      RunResult r = system.run(d, w, instr);
-      if (on_result) on_result(r);
-      results_.push_back(std::move(r));
-    }
+  RunMatrixOptions opts;
+  opts.jobs = 1;
+  opts.on_result = std::move(on_result);
+  opts.target_misses = target_misses;
+  opts.min_instructions = min_instructions;
+  opts.max_instructions = max_instructions;
+  run_matrix(designs, workloads, opts);
+}
+
+void ExperimentRunner::run_bumblebee_matrix(
+    const std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>>&
+        configs,
+    const std::vector<trace::WorkloadProfile>& workloads,
+    const RunMatrixOptions& opts) {
+  run_cells(
+      configs.size(), workloads,
+      [&configs](System& system, std::size_t d,
+                 const trace::WorkloadProfile& w, u64 instr) {
+        RunResult r = system.run_bumblebee(configs[d].second, w, instr);
+        r.design = configs[d].first;
+        return r;
+      },
+      opts);
+}
+
+void ExperimentRunner::run_cells(
+    std::size_t n_designs, const std::vector<trace::WorkloadProfile>& workloads,
+    const CellFn& cell, const RunMatrixOptions& opts) {
+  const std::size_t total = n_designs * workloads.size();
+  if (total == 0) return;
+
+  std::vector<u64> instr(workloads.size());
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    instr[i] = opts.instructions
+                   ? opts.instructions
+                   : default_instructions_for(workloads[i], opts.target_misses,
+                                              opts.min_instructions,
+                                              opts.max_instructions);
   }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = [&](std::size_t done) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double eta =
+        done ? elapsed / static_cast<double>(done) *
+                   static_cast<double>(total - done)
+             : 0.0;
+    std::fprintf(stderr, "[matrix] %zu/%zu cells, %.1fs elapsed, ETA %.1fs\n",
+                 done, total, elapsed, eta);
+  };
+
+  unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::default_concurrency();
+  jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, total));
+
+  if (jobs <= 1) {
+    System system(cfg_);
+    std::size_t done = 0;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      for (std::size_t d = 0; d < n_designs; ++d) {
+        RunResult r = cell(system, d, workloads[w], instr[w]);
+        if (opts.progress) report(++done);
+        if (opts.on_result) opts.on_result(r);
+        results_.push_back(std::move(r));
+      }
+    }
+    return;
+  }
+
+  // Parallel path: workers claim cells dynamically but commit them through
+  // indexed slots in matrix order, so results_ (and therefore write_csv)
+  // are byte-identical to a serial run. on_result also fires in matrix
+  // order, under the commit lock.
+  std::vector<std::unique_ptr<System>> systems;
+  systems.reserve(jobs);
+  for (unsigned j = 0; j < jobs; ++j) {
+    systems.push_back(std::make_unique<System>(cfg_));
+  }
+
+  std::vector<RunResult> slots(total);
+  std::vector<char> ready(total, 0);
+  std::mutex mu;
+  std::size_t committed = 0;
+  std::size_t completed = 0;
+
+  ThreadPool pool(jobs);
+  pool.parallel_for(total, [&](std::size_t i, unsigned worker) {
+    const std::size_t w = i / n_designs;
+    const std::size_t d = i % n_designs;
+    RunResult r = cell(*systems[worker], d, workloads[w], instr[w]);
+
+    std::lock_guard<std::mutex> lk(mu);
+    slots[i] = std::move(r);
+    ready[i] = 1;
+    if (opts.progress) report(++completed);
+    while (committed < total && ready[committed]) {
+      if (opts.on_result) opts.on_result(slots[committed]);
+      results_.push_back(std::move(slots[committed]));
+      ++committed;
+    }
+  });
 }
 
 std::vector<RunResult> ExperimentRunner::for_design(

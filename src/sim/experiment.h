@@ -2,29 +2,69 @@
 // RunResults, and exports them as aligned text or CSV. The bench harnesses
 // use it for their sweeps; downstream users get machine-readable results
 // for plotting.
+//
+// Matrices can run on a worker pool (RunMatrixOptions::jobs): every worker
+// owns a private System (System::run leaks no state between runs), and
+// finished cells commit back in matrix order — workload-major, design-minor
+// — through indexed slots, so serial and parallel executions of the same
+// matrix produce byte-identical results() and write_csv() output.
 #pragma once
 
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bumblebee/config.h"
 #include "sim/system.h"
 
 namespace bb::sim {
+
+/// Execution options for run_matrix / run_bumblebee_matrix.
+struct RunMatrixOptions {
+  /// Worker threads for the matrix. 0 = one per hardware thread; 1 runs the
+  /// cells inline on the calling thread (the historical serial behavior).
+  unsigned jobs = 0;
+  /// Called once per completed cell, always in matrix order (workload-major,
+  /// design-minor) regardless of which worker finished first. Invoked under
+  /// the runner's commit lock, so it needs no synchronization of its own.
+  std::function<void(const RunResult&)> on_result;
+  /// Emit a cells-done / elapsed / ETA line to stderr as cells complete.
+  bool progress = false;
+  /// Fixed per-cell instruction budget. 0 derives a per-workload budget
+  /// from target_misses via default_instructions_for.
+  u64 instructions = 0;
+  u64 target_misses = 200'000;
+  u64 min_instructions = 50'000'000;
+  u64 max_instructions = 400'000'000;
+};
 
 class ExperimentRunner {
  public:
   explicit ExperimentRunner(SystemConfig cfg = SystemConfig{});
 
-  /// Runs every (design, workload) pair. `instructions_for` may be null to
-  /// use default_instructions_for with the given target misses.
+  /// Runs every (design, workload) pair, possibly in parallel (see
+  /// RunMatrixOptions). Results append to results() in matrix order.
   void run_matrix(const std::vector<std::string>& designs,
                   const std::vector<trace::WorkloadProfile>& workloads,
-                  u64 target_misses = 200'000,
+                  const RunMatrixOptions& opts);
+
+  /// Legacy serial overload (equivalent to opts.jobs = 1).
+  void run_matrix(const std::vector<std::string>& designs,
+                  const std::vector<trace::WorkloadProfile>& workloads,
+                  u64 target_misses,
                   std::function<void(const RunResult&)> on_result = nullptr,
                   u64 min_instructions = 50'000'000,
                   u64 max_instructions = 400'000'000);
+
+  /// Design-space exploration matrix: one cell per (labelled Bumblebee
+  /// configuration, workload). Each result's design field is the label.
+  void run_bumblebee_matrix(
+      const std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>>&
+          configs,
+      const std::vector<trace::WorkloadProfile>& workloads,
+      const RunMatrixOptions& opts);
 
   /// Adds a single externally produced result.
   void add(const RunResult& r) { results_.push_back(r); }
@@ -44,6 +84,15 @@ class ExperimentRunner {
   void write_csv(std::ostream& os) const;
 
  private:
+  /// One matrix cell: run design index `d` of the current matrix against
+  /// `w` for `instr` instructions on the given (worker-private) System.
+  using CellFn = std::function<RunResult(
+      System&, std::size_t d, const trace::WorkloadProfile& w, u64 instr)>;
+
+  void run_cells(std::size_t n_designs,
+                 const std::vector<trace::WorkloadProfile>& workloads,
+                 const CellFn& cell, const RunMatrixOptions& opts);
+
   SystemConfig cfg_;
   std::vector<RunResult> results_;
 };

@@ -36,6 +36,31 @@ TEST(TextTable, CsvQuotesCommas) {
   EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
 }
 
+TEST(TextTable, CsvQuotesEmbeddedQuotesRfc4180) {
+  TextTable t({"x"});
+  t.add_row({"say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  // Embedded quotes force quoting and are doubled.
+  EXPECT_EQ(os.str(), "x\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TextTable, CsvQuotesLineBreaks) {
+  TextTable t({"x", "y"});
+  t.add_row({"two\nlines", "cr\rcell"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n\"two\nlines\",\"cr\rcell\"\n");
+}
+
+TEST(TextTable, CsvQuotedCommaCellWithQuotes) {
+  TextTable t({"x"});
+  t.add_row({"a,\"b\",c"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n\"a,\"\"b\"\",c\"\n");
+}
+
 TEST(TextTable, CsvPlainCells) {
   TextTable t({"x", "y"});
   t.add_row({"1", "2"});

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace bb {
+namespace {
+
+TEST(ThreadPool, DefaultConcurrencyIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_concurrency(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t i, unsigned worker) {
+    EXPECT_LT(worker, pool.size());
+    ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForWorkerIdsIndexPrivateState) {
+  // Worker ids must be usable as indexes into per-worker scratch state:
+  // two concurrent body calls never share an id.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> in_use(3);
+  std::atomic<bool> collision{false};
+  pool.parallel_for(200, [&](std::size_t, unsigned worker) {
+    if (in_use[worker].fetch_add(1) != 0) collision = true;
+    in_use[worker].fetch_sub(1);
+  });
+  EXPECT_FALSE(collision.load());
+}
+
+TEST(ThreadPool, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t, unsigned) { FAIL(); });
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t, unsigned worker) {
+    EXPECT_EQ(worker, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t i, unsigned) {
+                          ++ran;
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t, unsigned) { throw std::logic_error(""); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t, unsigned) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace bb

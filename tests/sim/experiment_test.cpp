@@ -79,5 +79,111 @@ TEST(Experiment, RunMatrixEndToEnd) {
   EXPECT_GT(n[0].second, 0.0);
 }
 
+SystemConfig small_config() {
+  SystemConfig cfg;
+  cfg.hbm.capacity_bytes = 32 * MiB;
+  cfg.dram.capacity_bytes = 320 * MiB;
+  cfg.core.cores = 1;
+  cfg.warmup_ratio = 0.0;
+  return cfg;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.design, b.design);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_EQ(a.hbm_bytes, b.hbm_bytes);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
+  EXPECT_EQ(a.hbm_serve_rate, b.hbm_serve_rate);
+  EXPECT_EQ(a.mean_latency_ns, b.mean_latency_ns);
+  EXPECT_EQ(a.mal_fraction, b.mal_fraction);
+  EXPECT_EQ(a.overfetch, b.overfetch);
+  EXPECT_EQ(a.page_faults, b.page_faults);
+  EXPECT_EQ(a.metadata_sram_bytes, b.metadata_sram_bytes);
+  EXPECT_EQ(a.hbm_class_bytes, b.hbm_class_bytes);
+  EXPECT_EQ(a.dram_class_bytes, b.dram_class_bytes);
+}
+
+// Serial (jobs=1) and parallel (jobs=4) executions of the same matrix must
+// produce identical RunResult vectors — same values, same matrix order —
+// and therefore byte-identical CSV. This is the determinism contract the
+// parallel runner commits to (indexed slots, not completion order).
+TEST(Experiment, ParallelMatrixMatchesSerialByteForByte) {
+  const std::vector<std::string> designs = {"DRAM-only", "Bumblebee"};
+  const std::vector<trace::WorkloadProfile> workloads = {
+      trace::WorkloadProfile::by_name("mcf"),
+      trace::WorkloadProfile::by_name("lbm")};
+
+  RunMatrixOptions opts;
+  opts.target_misses = 500;
+  opts.min_instructions = 100'000;
+  opts.max_instructions = 200'000;
+
+  ExperimentRunner serial(small_config());
+  opts.jobs = 1;
+  serial.run_matrix(designs, workloads, opts);
+
+  ExperimentRunner parallel(small_config());
+  opts.jobs = 4;
+  parallel.run_matrix(designs, workloads, opts);
+
+  ASSERT_EQ(serial.results().size(), designs.size() * workloads.size());
+  ASSERT_EQ(parallel.results().size(), serial.results().size());
+  for (std::size_t i = 0; i < serial.results().size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_identical(serial.results()[i], parallel.results()[i]);
+  }
+
+  std::ostringstream serial_csv, parallel_csv;
+  serial.write_csv(serial_csv);
+  parallel.write_csv(parallel_csv);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+TEST(Experiment, ParallelOnResultFiresInMatrixOrder) {
+  const std::vector<std::string> designs = {"DRAM-only", "Bumblebee"};
+  const std::vector<trace::WorkloadProfile> workloads = {
+      trace::WorkloadProfile::by_name("mcf"),
+      trace::WorkloadProfile::by_name("lbm")};
+
+  RunMatrixOptions opts;
+  opts.jobs = 4;
+  opts.target_misses = 500;
+  opts.min_instructions = 100'000;
+  opts.max_instructions = 200'000;
+  std::vector<std::string> seen;
+  opts.on_result = [&](const RunResult& r) {
+    seen.push_back(r.design + "/" + r.workload);
+  };
+
+  ExperimentRunner ex(small_config());
+  ex.run_matrix(designs, workloads, opts);
+
+  const std::vector<std::string> expected = {
+      "DRAM-only/mcf", "Bumblebee/mcf", "DRAM-only/lbm", "Bumblebee/lbm"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Experiment, BumblebeeMatrixLabelsResults) {
+  bumblebee::BumblebeeConfig a;  // defaults
+  bumblebee::BumblebeeConfig b;
+  b.block_bytes = 4 * KiB;
+
+  RunMatrixOptions opts;
+  opts.jobs = 2;
+  opts.instructions = 100'000;
+
+  ExperimentRunner ex(small_config());
+  ex.run_bumblebee_matrix({{"cfg-a", a}, {"cfg-b", b}},
+                          {trace::WorkloadProfile::by_name("mcf")}, opts);
+  ASSERT_EQ(ex.results().size(), 2u);
+  EXPECT_EQ(ex.results()[0].design, "cfg-a");
+  EXPECT_EQ(ex.results()[1].design, "cfg-b");
+  EXPECT_EQ(ex.for_design("cfg-b").size(), 1u);
+}
+
 }  // namespace
 }  // namespace bb::sim
