@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
     std::cout <<
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
         "              [--misses=N] [--warmup=PCT] [--cores=N] [--csv]\n"
+        "              [--json]  (full per-run results incl. per-class bytes)\n"
         "              [--jobs=N]  (N worker threads; default: all)\n"
         "designs: DRAM-only Banshee AC UC Chameleon Hybrid2 Bumblebee\n"
         "         C-Only M-Only 25%-C 50%-C No-Multi Meta-H Alloc-D\n"
@@ -77,6 +78,10 @@ int main(int argc, char** argv) {
 
   if (flags.has("csv")) {
     runner.write_csv(std::cout);
+    return 0;
+  }
+  if (flags.has("json")) {
+    runner.write_json(std::cout);
     return 0;
   }
 

@@ -58,6 +58,8 @@ class BansheeController final : public hmm::HybridMemoryController {
   BansheeConfig cfg_;
   u32 sets_;
   std::vector<Way> ways_;
+  // determinism-ok: keyed operator[]/erase only (never iterated), so the
+  // implementation-defined bucket order cannot reach stats or output.
   std::unordered_map<u64, u16> candidate_freq_;  ///< sampled miss counters
   u64 miss_tick_ = 0;                            ///< sampling wheel
 };

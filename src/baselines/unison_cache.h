@@ -61,6 +61,8 @@ class UnisonCacheController final : public hmm::HybridMemoryController {
   std::vector<Way> ways_;
   u64 lru_clock_ = 0;
   /// Footprint history: page -> block-usage of the last residency.
+  // determinism-ok: pure keyed lookup/insert (never iterated), so the
+  // implementation-defined bucket order cannot reach stats or output.
   std::unordered_map<u64, BitVector> footprints_;
 };
 

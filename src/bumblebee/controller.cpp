@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+
+#include "common/check.h"
 
 namespace bb::bumblebee {
 
@@ -245,6 +248,7 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
     }
   }
   st.last_alloc_page = static_cast<std::int32_t>(page);
+  verify_set(st, set, "allocate");
 }
 
 // -------------------------------------------------------- frame reclaim
@@ -272,6 +276,7 @@ bool BumblebeeController::evict_frame(SetState& st, u32 set, u32 k,
     st.hot.move_hbm_to_dram(page);
     ++bstats_.chbm_evictions;
     ++mutable_stats().evictions;
+    verify_set(st, set, "evict_frame (cHBM copy)");
     return true;
   }
 
@@ -287,6 +292,7 @@ bool BumblebeeController::evict_frame(SetState& st, u32 set, u32 k,
   st.hot.move_hbm_to_dram(page);
   ++bstats_.mhbm_evictions;
   ++mutable_stats().evictions;
+  verify_set(st, set, "evict_frame (mHBM page)");
   return true;
 }
 
@@ -356,6 +362,7 @@ u32 BumblebeeController::reclaim_hbm_frame(SetState& st, u32 set, Tick now,
       ++mutable_stats().mode_switches;
       buffered_once = true;
       buffered_page = page;
+      verify_set(st, set, "reclaim_hbm_frame (mHBM->cHBM buffering)");
       continue;
     }
 
@@ -392,6 +399,7 @@ void BumblebeeController::migrate_page(SetState& st, u32 set, u32 page,
   st.hot.move_dram_to_hbm(page);
   ++bstats_.page_migrations;
   ++mutable_stats().migrations;
+  verify_set(st, set, "migrate_page");
 }
 
 void BumblebeeController::cache_block(SetState& st, u32 set, u32 page,
@@ -504,6 +512,7 @@ void BumblebeeController::switch_cache_to_mem(SetState& st, u32 set, u32 k,
   // b.valid now tracks accessed blocks — the cached blocks were accessed.
   ++bstats_.cache_to_mem_switches;
   ++mutable_stats().mode_switches;
+  verify_set(st, set, "switch_cache_to_mem");
 }
 
 void BumblebeeController::swap_with_coldest(SetState& st, u32 set, u32 page,
@@ -553,6 +562,7 @@ void BumblebeeController::swap_with_coldest(SetState& st, u32 set, u32 page,
   st.hot.move_dram_to_hbm(page);
   ++bstats_.set_swaps;
   ++mutable_stats().swaps;
+  verify_set(st, set, "swap_with_coldest");
 }
 
 void BumblebeeController::flush_set_chbm(SetState& st, u32 set, Tick now) {
@@ -563,6 +573,7 @@ void BumblebeeController::flush_set_chbm(SetState& st, u32 set, Tick now) {
   }
   st.chbm_disabled = true;
   ++bstats_.batch_flushes;
+  verify_set(st, set, "flush_set_chbm");
 }
 
 void BumblebeeController::maybe_batch_flush(Tick now) {
@@ -819,45 +830,88 @@ BumblebeeController::Location BumblebeeController::locate(Addr addr) const {
   return out;
 }
 
-bool BumblebeeController::check_invariants() const {
-  for (u32 s = 0; s < geo_.sets; ++s) {
-    const SetState& st = sets_[s];
-    std::vector<int> frame_owner(geo_.slots(), -1);
-    for (u32 p = 0; p < geo_.slots(); ++p) {
-      const std::int32_t f = st.new_ple[p];
-      if (f == kUnallocated) continue;
-      if (f < 0 || f >= static_cast<std::int32_t>(geo_.slots())) return false;
-      if (frame_owner[static_cast<u32>(f)] != -1) return false;  // collision
-      frame_owner[static_cast<u32>(f)] = static_cast<int>(p);
-    }
-    for (u32 f = 0; f < geo_.slots(); ++f) {
-      if (st.occup[f] != (frame_owner[f] != -1)) return false;
-    }
-    std::vector<bool> cached(geo_.slots(), false);
-    for (u32 k = 0; k < geo_.n; ++k) {
-      const Ble& b = st.ble[k];
-      switch (b.mode) {
-        case Ble::Mode::kFree:
-          if (st.occup[geo_.m + k]) return false;
-          break;
-        case Ble::Mode::kMem:
-          if (frame_owner[geo_.m + k] != static_cast<int>(b.ple)) return false;
-          break;
-        case Ble::Mode::kCache: {
-          if (b.ple >= geo_.slots()) return false;
-          if (cached[b.ple]) return false;  // duplicate cache copy
-          cached[b.ple] = true;
-          const std::int32_t home = st.new_ple[b.ple];
-          if (home == kUnallocated ||
-              home >= static_cast<std::int32_t>(geo_.m)) {
-            return false;  // cached page must live off-chip
-          }
-          if (st.occup[geo_.m + k]) return false;  // cache frame not occup
-          break;
+bool BumblebeeController::check_set_invariants(const SetState& st,
+                                               u32 set) const {
+  (void)set;
+  // PRT: remapped pages form a bijection onto occupied frames.
+  std::vector<int> frame_owner(geo_.slots(), -1);
+  for (u32 p = 0; p < geo_.slots(); ++p) {
+    const std::int32_t f = st.new_ple[p];
+    if (f == kUnallocated) continue;
+    if (f < 0 || f >= static_cast<std::int32_t>(geo_.slots())) return false;
+    if (frame_owner[static_cast<u32>(f)] != -1) return false;  // collision
+    frame_owner[static_cast<u32>(f)] = static_cast<int>(p);
+  }
+  for (u32 f = 0; f < geo_.slots(); ++f) {
+    if (st.occup[f] != (frame_owner[f] != -1)) return false;
+  }
+  // BLE: every HBM frame's entry agrees with the PRT slot it mirrors.
+  std::vector<bool> cached(geo_.slots(), false);
+  std::vector<bool> hbm_resident(geo_.slots(), false);
+  u32 chbm = 0;
+  u32 mhbm = 0;
+  u32 free_frames = 0;
+  for (u32 k = 0; k < geo_.n; ++k) {
+    const Ble& b = st.ble[k];
+    switch (b.mode) {
+      case Ble::Mode::kFree:
+        if (st.occup[geo_.m + k]) return false;
+        ++free_frames;
+        break;
+      case Ble::Mode::kMem:
+        if (b.ple >= geo_.slots()) return false;
+        if (frame_owner[geo_.m + k] != static_cast<int>(b.ple)) return false;
+        hbm_resident[b.ple] = true;
+        ++mhbm;
+        break;
+      case Ble::Mode::kCache: {
+        if (b.ple >= geo_.slots()) return false;
+        if (cached[b.ple]) return false;  // duplicate cache copy
+        cached[b.ple] = true;
+        const std::int32_t home = st.new_ple[b.ple];
+        if (home == kUnallocated ||
+            home >= static_cast<std::int32_t>(geo_.m)) {
+          return false;  // cached page must live off-chip
         }
+        if (st.occup[geo_.m + k]) return false;  // cache frame not occup
+        hbm_resident[b.ple] = true;
+        ++chbm;
+        break;
       }
     }
-    if (st.hot.hbm_size() > geo_.n) return false;
+  }
+  // Ratio bookkeeping: cHBM + mHBM + free frames sum to the set's HBM
+  // frame count (nothing double-counted or lost across a ratio change).
+  if (chbm + mhbm + free_frames != geo_.n) return false;
+  // Hot table: the HBM queue holds exactly the HBM-resident pages (each
+  // non-free BLE holds a distinct page, so sizes must match too).
+  if (st.hot.hbm_size() != chbm + mhbm) return false;
+  for (const auto& e : st.hot.hbm_entries()) {
+    if (e.page >= geo_.slots() || !hbm_resident[e.page]) return false;
+  }
+  return true;
+}
+
+void BumblebeeController::verify_set(const SetState& st, u32 set,
+                                     const char* where) const {
+#if BB_CHECKS_ENABLED
+  if (!check_set_invariants(st, set)) {
+    std::fprintf(stderr,
+                 "bumblebee metadata invariant violation in set %u after "
+                 "%s\n",
+                 set, where);
+    BB_CHECK(false, "PRT/BLE/hot-table consistency (see message above)");
+  }
+#else
+  (void)st;
+  (void)set;
+  (void)where;
+#endif
+}
+
+bool BumblebeeController::check_invariants() const {
+  for (u32 s = 0; s < geo_.sets; ++s) {
+    if (!check_set_invariants(sets_[s], s)) return false;
   }
   return true;
 }

@@ -72,8 +72,10 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   };
   RatioSample ratio() const;
 
-  /// Validates every structural invariant of every set; aborts via assert /
-  /// returns false on violation. Used by property tests.
+  /// Validates every structural invariant of every set; returns false on
+  /// violation. Used by property tests. The same per-set sweep also runs
+  /// automatically (via BB_CHECK) after every remap-ratio transition in
+  /// debug / BB_CHECKS builds — see check_set_invariants.
   bool check_invariants() const;
 
   /// Where a demand access to `addr` would be served *right now* (no state
@@ -141,6 +143,18 @@ class BumblebeeController final : public hmm::HybridMemoryController {
 
   Tick meta_lookup(u32 set, Tick now, hmm::HmmResult& res);
   void meta_update(u32 set, Tick now);
+
+  /// One set's PRT <-> BLE <-> hot-table consistency sweep: PRT remaps are
+  /// a bijection onto occupied frames, every BLE agrees with the PRT slot
+  /// it mirrors, cached pages live off-chip, and the hot table's HBM queue
+  /// holds exactly the HBM-resident pages (so the cHBM:mHBM ratio
+  /// bookkeeping sums to the set's HBM frame count).
+  bool check_set_invariants(const SetState& st, u32 set) const;
+
+  /// BB_CHECK hook: asserts check_set_invariants after a remap-ratio
+  /// transition (`where` names the transition in the failure message).
+  /// Compiles to nothing when checking is disabled.
+  void verify_set(const SetState& st, u32 set, const char* where) const;
 
   BumblebeeConfig cfg_;
   Geometry geo_;

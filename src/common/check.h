@@ -1,0 +1,64 @@
+// Debug-build invariant checking macros.
+//
+// BB_ASSERT(cond, msg) — checks structural invariants that are cheap enough
+// to leave in every debug build. BB_CHECK(cond, msg) — heavier consistency
+// sweeps (e.g. whole-set metadata cross-checks) intended for the sanitizer
+// CI jobs and local debugging.
+//
+// Both compile to nothing unless checking is enabled, so release builds and
+// the perf-sensitive bench harnesses pay zero cost. Checking is enabled
+// when:
+//   * BB_ENABLE_CHECKS is defined (the BB_CHECKS=ON CMake option, forced on
+//     in the sanitizer CI jobs), or
+//   * NDEBUG is not defined (any plain Debug build).
+//
+// On failure the macros print the condition, a caller-supplied message and
+// the source location to stderr, then abort() — so a metadata inconsistency
+// stops the simulation at the transition that introduced it instead of
+// surfacing as a silently-wrong number in a figure.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(BB_ENABLE_CHECKS) || !defined(NDEBUG)
+#define BB_CHECKS_ENABLED 1
+#else
+#define BB_CHECKS_ENABLED 0
+#endif
+
+namespace bb::detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* cond,
+                                      const char* msg, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "%s failed: %s\n  %s\n  at %s:%d\n", kind, cond, msg,
+               file, line);
+  std::abort();
+}
+
+}  // namespace bb::detail
+
+#if BB_CHECKS_ENABLED
+#define BB_ASSERT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::bb::detail::check_failed("BB_ASSERT", #cond, (msg), __FILE__,     \
+                                 __LINE__);                               \
+    }                                                                     \
+  } while (false)
+#define BB_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::bb::detail::check_failed("BB_CHECK", #cond, (msg), __FILE__,      \
+                                 __LINE__);                               \
+    }                                                                     \
+  } while (false)
+#else
+#define BB_ASSERT(cond, msg) \
+  do {                       \
+  } while (false)
+#define BB_CHECK(cond, msg) \
+  do {                      \
+  } while (false)
+#endif

@@ -1,0 +1,23 @@
+// Minimal JSON emission helpers for result export.
+//
+// The experiment runner exports machine-readable per-run results as JSON
+// alongside the flat CSV (write_json / write_csv). Only emission is needed
+// — nothing in the simulator parses JSON — so these helpers stay tiny and
+// locale-independent rather than pulling in a library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace bb {
+
+/// Escapes a string for use inside a JSON string literal (quotes not
+/// included). Control characters are \u-escaped per RFC 8259.
+std::string json_escape(std::string_view s);
+
+/// Formats a double as a JSON number: shortest representation that
+/// round-trips exactly, locale-independent. Non-finite values (which JSON
+/// cannot represent) are emitted as null.
+std::string json_double(double v);
+
+}  // namespace bb

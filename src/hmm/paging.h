@@ -43,6 +43,8 @@ class PagingModel {
   PagingConfig cfg_;
   u64 capacity_pages_;
   PagingStats stats_;
+  // determinism-ok: keyed find/emplace/erase only (never iterated); victim
+  // order comes from the clock ring below, not from bucket order.
   std::unordered_map<u64, u32> resident_;  ///< page id -> slot in clock ring
   std::vector<u64> ring_;                  ///< clock ring of resident pages
   std::vector<bool> referenced_;

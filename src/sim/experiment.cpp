@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 
+#include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 
@@ -180,6 +181,46 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
                std::to_string(r.metadata_sram_bytes)});
   }
   t.print_csv(os);
+}
+
+void ExperimentRunner::write_json(std::ostream& os) const {
+  const auto class_object = [](std::ostream& o,
+                               const std::array<u64, mem::kTrafficClassCount>&
+                                   bytes) {
+    o << '{';
+    for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
+      if (c) o << ',';
+      o << '"' << mem::to_string(static_cast<mem::TrafficClass>(c))
+        << "\":" << bytes[c];
+    }
+    o << '}';
+  };
+
+  os << "[\n";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const RunResult& r = results_[i];
+    os << "  {"
+       << "\"design\":\"" << json_escape(r.design) << "\","
+       << "\"workload\":\"" << json_escape(r.workload) << "\","
+       << "\"instructions\":" << r.instructions << ','
+       << "\"misses\":" << r.misses << ','
+       << "\"ipc\":" << json_double(r.ipc) << ','
+       << "\"hbm_bytes\":" << r.hbm_bytes << ','
+       << "\"dram_bytes\":" << r.dram_bytes << ','
+       << "\"energy_mj\":" << json_double(r.energy_mj) << ','
+       << "\"hbm_serve_rate\":" << json_double(r.hbm_serve_rate) << ','
+       << "\"mean_latency_ns\":" << json_double(r.mean_latency_ns) << ','
+       << "\"mal_fraction\":" << json_double(r.mal_fraction) << ','
+       << "\"overfetch\":" << json_double(r.overfetch) << ','
+       << "\"page_faults\":" << r.page_faults << ','
+       << "\"metadata_sram_bytes\":" << r.metadata_sram_bytes << ','
+       << "\"hbm_class_bytes\":";
+    class_object(os, r.hbm_class_bytes);
+    os << ",\"dram_class_bytes\":";
+    class_object(os, r.dram_class_bytes);
+    os << '}' << (i + 1 < results_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
 }
 
 }  // namespace bb::sim

@@ -83,6 +83,12 @@ class ExperimentRunner {
   /// Writes every result as CSV (one row per run, fixed column set).
   void write_csv(std::ostream& os) const;
 
+  /// Writes every result as a JSON array, one object per run. Unlike the
+  /// CSV this is the *full* RunResult, including the per-traffic-class
+  /// byte counters (hbm_class_bytes / dram_class_bytes) the CSV flattens
+  /// into single totals.
+  void write_json(std::ostream& os) const;
+
  private:
   /// One matrix cell: run design index `d` of the current matrix against
   /// `w` for `instr` instructions on the given (worker-private) System.

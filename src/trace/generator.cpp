@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
+#include <set>
 
 namespace bb::trace {
 namespace {
@@ -106,8 +106,11 @@ StreamStats measure_stream(const std::vector<TraceRecord>& recs) {
 
   double gap_sum = 0;
   u64 writes = 0;
-  std::unordered_map<Addr, u64> page4k_count;
-  std::unordered_map<Addr, std::unordered_set<u64>> page64k_blocks;
+  // Ordered maps: these are iterated into floating-point accumulations
+  // below, and unordered iteration order would make the sums (and thus the
+  // calibration stats) vary across standard-library implementations.
+  std::map<Addr, u64> page4k_count;
+  std::map<Addr, std::set<u64>> page64k_blocks;
   for (const auto& r : recs) {
     gap_sum += static_cast<double>(r.inst_gap);
     if (r.type == AccessType::kWrite) ++writes;

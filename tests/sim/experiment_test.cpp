@@ -59,6 +59,69 @@ TEST(Experiment, CsvHasHeaderAndRows) {
   EXPECT_NE(out.find("1.2500"), std::string::npos);
 }
 
+TEST(Experiment, JsonExportsFullRunResult) {
+  ExperimentRunner ex;
+  RunResult r = fake("A \"quoted\"", "mcf", 1.25);
+  r.hbm_class_bytes[static_cast<std::size_t>(mem::TrafficClass::kDemand)] =
+      640;
+  r.hbm_class_bytes[static_cast<std::size_t>(mem::TrafficClass::kFill)] = 128;
+  r.dram_class_bytes[
+      static_cast<std::size_t>(mem::TrafficClass::kWriteback)] = 256;
+  ex.add(r);
+  ex.add(fake("B", "xz", 2.0));
+
+  std::ostringstream os;
+  ex.write_json(os);
+  const std::string out = os.str();
+
+  // Array of one object per run, escaped strings, exact double round-trip.
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"design\":\"A \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"workload\":\"mcf\""), std::string::npos);
+  EXPECT_NE(out.find("\"ipc\":1.25"), std::string::npos);
+  EXPECT_NE(out.find("\"design\":\"B\""), std::string::npos);
+  // The per-class split the CSV flattens must be present, keyed by class.
+  EXPECT_NE(out.find("\"hbm_class_bytes\":{\"demand\":640,\"fill\":128,"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"writeback\":256"), std::string::npos);
+}
+
+TEST(Experiment, JsonEmptyRunnerIsEmptyArray) {
+  ExperimentRunner ex;
+  std::ostringstream os;
+  ex.write_json(os);
+  EXPECT_EQ(os.str(), "[\n]\n");
+}
+
+// The JSON export must obey the same serial/parallel byte-identity
+// contract as the CSV.
+TEST(Experiment, JsonDeterministicAcrossJobs) {
+  const std::vector<std::string> designs = {"DRAM-only", "Bumblebee"};
+  const std::vector<trace::WorkloadProfile> workloads = {
+      trace::WorkloadProfile::by_name("mcf")};
+
+  RunMatrixOptions opts;
+  opts.instructions = 100'000;
+
+  SystemConfig cfg;
+  cfg.hbm.capacity_bytes = 32 * MiB;
+  cfg.dram.capacity_bytes = 320 * MiB;
+  cfg.core.cores = 1;
+  cfg.warmup_ratio = 0.0;
+
+  ExperimentRunner serial(cfg);
+  opts.jobs = 1;
+  serial.run_matrix(designs, workloads, opts);
+  ExperimentRunner parallel(cfg);
+  opts.jobs = 4;
+  parallel.run_matrix(designs, workloads, opts);
+
+  std::ostringstream a, b;
+  serial.write_json(a);
+  parallel.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Experiment, RunMatrixEndToEnd) {
   SystemConfig cfg;
   cfg.hbm.capacity_bytes = 32 * MiB;

@@ -1,0 +1,68 @@
+// Golden-run regression test.
+//
+// Runs a tiny fixed-seed (design x workload) matrix and pins an FNV-1a
+// hash of the full write_csv + write_json output. Any change to simulation
+// behavior — intended or not — flips the hash, so mechanical refactors
+// (warning hardening, clang-tidy cleanups, lint-driven container changes)
+// can be proven behavior-preserving by this test alone.
+//
+// If the hash changes because of an *intended* behavioral change, rerun
+// the test: the failure message prints the new hash to pin. Update the
+// constant in the same commit as the behavioral change and say why.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace bb::sim {
+namespace {
+
+/// FNV-1a 64-bit: tiny, dependency-free, and stable across platforms.
+u64 fnv1a(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+TEST(GoldenRun, FixedSeedMatrixHashIsPinned) {
+  SystemConfig cfg;
+  cfg.hbm.capacity_bytes = 32 * MiB;
+  cfg.dram.capacity_bytes = 320 * MiB;
+  cfg.core.cores = 1;
+  cfg.warmup_ratio = 0.0;
+  cfg.seed = 42;
+
+  RunMatrixOptions opts;
+  opts.jobs = 1;
+  // Fixed budget: keeps the run fast and independent of the
+  // default_instructions_for heuristic (and its BB_SIM_SCALE env override).
+  opts.instructions = 150'000;
+
+  ExperimentRunner ex(cfg);
+  ex.run_matrix({"DRAM-only", "Bumblebee", "Banshee"},
+                {trace::WorkloadProfile::by_name("mcf"),
+                 trace::WorkloadProfile::by_name("lbm")},
+                opts);
+  ASSERT_EQ(ex.results().size(), 6u);
+
+  std::ostringstream csv, json;
+  ex.write_csv(csv);
+  ex.write_json(json);
+  const u64 hash = fnv1a(csv.str() + json.str());
+
+  // Pinned on the seed behavior (PR 2); see the file comment before
+  // updating.
+  const u64 kGoldenHash = 0xd2719bc3c2d34f97ULL;
+  EXPECT_EQ(hash, kGoldenHash)
+      << "golden-run output changed; new hash: 0x" << std::hex << hash
+      << "\nIf this change is intended, update kGoldenHash and justify the "
+         "behavioral change in the commit.";
+}
+
+}  // namespace
+}  // namespace bb::sim

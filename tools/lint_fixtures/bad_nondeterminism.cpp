@@ -1,0 +1,50 @@
+// lint-expect: 6
+//
+// Negative fixture for tools/lint_determinism: every banned pattern in one
+// file, plus allowlisted uses that must NOT be flagged. The CI lint job runs
+// the tool against this file and fails the build if the tool does not fail.
+// This file is never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad_c_rand() {
+  std::srand(static_cast<unsigned>(time(nullptr)));  // 2 findings: srand + time
+  return rand();                                     // finding: rand
+}
+
+unsigned bad_random_device() {
+  std::random_device rd;  // finding: random-device
+  return rd();
+}
+
+long bad_wall_clock_seed() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // finding
+}
+
+double bad_unordered_iteration(const std::unordered_map<int, double>& m) {
+  // finding: iteration order feeds a floating-point sum
+  double s = 0;
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+// ---- allowlisted uses: the lint must accept these -------------------------
+
+// determinism-ok: pure keyed lookup, never iterated into results
+int ok_keyed_lookup(const std::unordered_map<int, int>& m, int k) {
+  auto it = m.find(k);  // lookup only; the map type above carries the marker
+  return it == m.end() ? 0 : it->second;
+}
+
+bool ok_membership(const std::unordered_set<int>& s, int k) {  // determinism-ok: membership test only
+  return s.count(k) != 0;
+}
+
+// determinism-ok: keyed insert/find only (never iterated), so the
+// implementation-defined bucket order cannot reach stats or output; the
+// marker is two comment lines above the use and must still apply.
+std::unordered_map<int, int> ok_multiline_justification;
