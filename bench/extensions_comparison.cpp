@@ -4,6 +4,7 @@
 // one workload per Figure 1 quadrant.
 #include <iostream>
 
+#include "baselines/factory.h"
 #include "common/table.h"
 #include "sim/system.h"
 
@@ -19,6 +20,7 @@ int main() {
   const std::vector<std::string> workloads = {"mcf", "wrf", "xz", "roms"};
   const std::vector<std::string> designs = {"PoM", "MemPod", "Chameleon",
                                             "Bumblebee"};
+  baselines::require_design_names(designs);
 
   std::cout << "Normalized IPC: Bumblebee vs POM-family designs\n";
   std::vector<std::string> headers = {"design"};

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "baselines/factory.h"
 #include "common/table.h"
 #include "sim/system.h"
 
@@ -26,6 +27,7 @@ int main() {
   const std::vector<std::string> designs = {"Bumblebee", "Meta-H", "Banshee",
                                             "AC", "UC", "Chameleon",
                                             "Hybrid2"};
+  baselines::require_design_names(designs);
   std::vector<std::vector<double>> mal(designs.size());
 
   for (const auto& w : trace::WorkloadProfile::spec2017()) {

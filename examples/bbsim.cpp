@@ -1,15 +1,19 @@
 // General-purpose simulation driver: run any (design x workload) matrix
 // from the command line and emit a table or CSV.
 //
-//   ./bb_sim --designs=DRAM-only,Bumblebee,Hybrid2 --workloads=mcf,wrf \
-//            --misses=100000 --warmup=200 --csv
-//   ./bb_sim --designs=all --workloads=all --misses=50000
+//   ./bbsim --designs=DRAM-only,Bumblebee,Hybrid2 --workloads=mcf,wrf
+//   ./bbsim --designs=all --workloads=all --misses=50000 --csv
+//   ./bbsim --designs=DRAM-only,Bumblebee --workloads=mcf \
+//           --epoch-csv=epochs.csv --trace=run.json --trace-format=chrome
 //
-// Design names follow the factory (README); "all" expands to the Figure 8
-// set plus the PoM/MemPod extensions.
+// Design names follow the factory (README); "all" expands to
+// baselines::comparison_designs() — the Figure 8 set plus the
+// PoM/SILC-FM/MemPod extensions.
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "baselines/factory.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
@@ -36,20 +40,34 @@ int main(int argc, char** argv) {
     std::cout <<
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
         "              [--misses=N] [--warmup=PCT] [--cores=N] [--csv]\n"
-        "              [--json]  (full per-run results incl. per-class bytes)\n"
+        "              [--json]  (full per-run results incl. percentiles)\n"
         "              [--jobs=N]  (N worker threads; default: all)\n"
-        "designs: DRAM-only Banshee AC UC Chameleon Hybrid2 Bumblebee\n"
-        "         C-Only M-Only 25%-C 50%-C No-Multi Meta-H Alloc-D\n"
-        "         Alloc-H No-HMF PoM SILC-FM MemPod | all\n"
-        "workloads: Table II names | all\n";
+        "              [--epoch-csv=FILE]  (epoch time-series CSV)\n"
+        "              [--epoch-requests=N]  (epoch every N requests;\n"
+        "               default 5000 when --epoch-csv is given)\n"
+        "              [--epoch-ticks=N]  (also close epochs every N ticks)\n"
+        "              [--trace=FILE]  (structured event trace)\n"
+        "              [--trace-format=jsonl|chrome]  (default jsonl)\n"
+        "              [--resume=FILE]  (checkpoint journal: finished cells\n"
+        "               are restored from FILE, new cells appended to it)\n";
+    std::cout << "designs:";
+    for (const auto& name : baselines::all_design_names()) {
+      std::cout << ' ' << name;
+    }
+    std::cout << " | all\nworkloads: Table II names | all\n";
     return 0;
   }
 
   std::vector<std::string> designs =
       split_csv(flags.get_string("designs", "DRAM-only,Bumblebee"));
   if (designs.size() == 1 && designs[0] == "all") {
-    designs = {"DRAM-only", "Banshee",  "AC",     "UC",     "Chameleon",
-               "Hybrid2",   "PoM",      "SILC-FM", "MemPod", "Bumblebee"};
+    designs = baselines::comparison_designs();
+  }
+  try {
+    baselines::require_design_names(designs);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bbsim: " << e.what() << "\n";
+    return 1;
   }
 
   std::vector<trace::WorkloadProfile> workloads;
@@ -67,14 +85,73 @@ int main(int argc, char** argv) {
   cfg.core.cores = static_cast<u32>(flags.get_u64("cores", cfg.core.cores));
   cfg.seed = flags.get_u64("seed", cfg.seed);
 
+  // Observability (opt-in; off = zero overhead beyond a pointer test).
+  const std::string epoch_csv = flags.get_string("epoch-csv", "");
+  const std::string trace_file = flags.get_string("trace", "");
+  const std::string trace_format = flags.get_string("trace-format", "jsonl");
+  if (trace_format != "jsonl" && trace_format != "chrome") {
+    std::cerr << "bbsim: unknown --trace-format: " << trace_format << "\n";
+    return 1;
+  }
+  cfg.obs.trace = !trace_file.empty();
+  if (!epoch_csv.empty() || flags.has("epoch-requests") ||
+      flags.has("epoch-ticks")) {
+    cfg.obs.epoch.every_requests = flags.get_u64("epoch-requests", 5'000);
+    cfg.obs.epoch.every_ticks = flags.get_u64("epoch-ticks", 0);
+  }
+
   sim::ExperimentRunner runner(cfg);
   sim::RunMatrixOptions opts;
   opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
   opts.target_misses = flags.get_u64("misses", 100'000);
-  opts.on_result = [](const sim::RunResult& r) {
+
+  // Checkpoint/resume: restore finished cells from the journal, append
+  // newly finished cells to it (crash-safe: one line per cell, malformed
+  // trailing lines are skipped on load).
+  const std::string resume_file = flags.get_string("resume", "");
+  sim::ResultJournal journal;
+  std::ofstream journal_out;
+  if (!resume_file.empty()) {
+    if (std::ifstream in{resume_file}) {
+      const std::size_t n = journal.load(in);
+      if (n) std::cerr << "resume: " << n << " cells from " << resume_file
+                       << "\n";
+    }
+    journal_out.open(resume_file, std::ios::app);
+    if (!journal_out) {
+      std::cerr << "bbsim: cannot open --resume file: " << resume_file
+                << "\n";
+      return 1;
+    }
+    opts.resume = &journal;
+  }
+  opts.on_result = [&journal_out](const sim::RunResult& r) {
     std::cerr << r.design << "/" << r.workload << " done\n";
+    if (journal_out.is_open()) {
+      journal_out << sim::ResultJournal::line(r) << "\n" << std::flush;
+    }
   };
   runner.run_matrix(designs, workloads, opts);
+
+  if (!epoch_csv.empty()) {
+    std::ofstream out(epoch_csv);
+    if (!out) {
+      std::cerr << "bbsim: cannot open --epoch-csv file: " << epoch_csv
+                << "\n";
+      return 1;
+    }
+    runner.write_epoch_csv(out);
+  }
+  if (!trace_file.empty()) {
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::cerr << "bbsim: cannot open --trace file: " << trace_file << "\n";
+      return 1;
+    }
+    runner.write_trace(out, trace_format == "chrome"
+                                ? sim::ExperimentRunner::TraceFormat::kChrome
+                                : sim::ExperimentRunner::TraceFormat::kJsonl);
+  }
 
   if (flags.has("csv")) {
     runner.write_csv(std::cout);

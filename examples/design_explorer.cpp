@@ -3,13 +3,15 @@
 // and over-fetch — the Figure 6 / Section IV-B methodology on a single
 // benchmark, as a library user would run it.
 //
-//   ./design_explorer [workload] [instructions] [--jobs N]
+//   ./design_explorer [workload] [instructions] [--jobs N] [--baseline D]
 //
 // --jobs N spreads the nine configurations over N worker threads
-// (default: all hardware threads).
+// (default: all hardware threads). --baseline picks the normalization
+// design (factory name, default DRAM-only).
 #include <iostream>
 #include <string>
 
+#include "baselines/factory.h"
 #include "bumblebee/config.h"
 #include "common/flags.h"
 #include "common/table.h"
@@ -24,6 +26,13 @@ int main(int argc, char** argv) {
   const u64 instructions =
       pos.size() > 1 ? std::stoull(pos[1])
                      : sim::env_u64("BB_INSTRUCTIONS", 30'000'000);
+  const std::string baseline = flags.get_string("baseline", "DRAM-only");
+  try {
+    baselines::require_design_names({baseline});
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "design_explorer: " << e.what() << "\n";
+    return 1;
+  }
 
   const auto& w = trace::WorkloadProfile::by_name(workload_name);
 
@@ -43,12 +52,12 @@ int main(int argc, char** argv) {
   sim::RunMatrixOptions opts;
   opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
   opts.instructions = instructions;
-  runner.run_matrix({"DRAM-only"}, {w}, opts);
+  runner.run_matrix({baseline}, {w}, opts);
   runner.run_bumblebee_matrix(configs, {w}, opts);
 
   const double base_ipc = runner.results().front().ipc;
-  std::cout << "Design space for " << w.name << " (normalized to DRAM-only "
-            << fmt_double(base_ipc, 2) << " IPC)\n\n";
+  std::cout << "Design space for " << w.name << " (normalized to "
+            << baseline << " " << fmt_double(base_ipc, 2) << " IPC)\n\n";
   TextTable table({"block", "page", "normalized IPC", "HBM serve",
                    "over-fetch", "metadata"});
   for (const auto& [label, cfg] : configs) {

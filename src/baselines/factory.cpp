@@ -1,5 +1,6 @@
 #include "baselines/factory.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "baselines/alloy_cache.h"
@@ -76,6 +77,31 @@ const std::vector<std::string>& figure7_designs() {
       "C-Only", "M-Only",  "25%-C",   "50%-C",   "No-Multi",
       "Meta-H", "Alloc-D", "Alloc-H", "No-HMF",  "Bumblebee"};
   return kDesigns;
+}
+
+const std::vector<std::string>& comparison_designs() {
+  static const std::vector<std::string> kDesigns = {
+      "DRAM-only", "Banshee", "AC",     "UC",     "Chameleon",
+      "Hybrid2",   "PoM",     "SILC-FM", "MemPod", "Bumblebee"};
+  return kDesigns;
+}
+
+const std::vector<std::string>& all_design_names() {
+  static const std::vector<std::string> kDesigns = {
+      "DRAM-only", "Banshee", "AC",      "UC",       "Chameleon",
+      "Hybrid2",   "PoM",     "MemPod",  "SILC-FM",  "Bumblebee",
+      "C-Only",    "M-Only",  "25%-C",   "50%-C",    "No-Multi",
+      "Meta-H",    "Alloc-D", "Alloc-H", "No-HMF"};
+  return kDesigns;
+}
+
+void require_design_names(const std::vector<std::string>& names) {
+  const auto& known = all_design_names();
+  for (const auto& name : names) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown design: " + name);
+    }
+  }
 }
 
 }  // namespace bb::baselines

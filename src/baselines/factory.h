@@ -31,4 +31,19 @@ const std::vector<std::string>& figure8_designs();
 /// The Figure 7 factor-breakdown set, in plot order.
 const std::vector<std::string>& figure7_designs();
 
+/// The full-system comparison set (what drivers expand "all" to):
+/// DRAM-only, the Figure 8 competitors and the PoM / SILC-FM / MemPod
+/// extensions — every complete design, excluding the Figure 7 Bumblebee
+/// ablations.
+const std::vector<std::string>& comparison_designs();
+
+/// Every name make_design accepts, in factory order.
+const std::vector<std::string>& all_design_names();
+
+/// Validates a requested design list against the factory before any
+/// simulation starts. Throws std::invalid_argument naming the first
+/// unknown entry (so a typo fails a sweep in milliseconds, not after the
+/// cells preceding it ran).
+void require_design_names(const std::vector<std::string>& names);
+
 }  // namespace bb::baselines

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/trace_event.h"
+
 namespace bb::baselines {
 
 Hybrid2Controller::Hybrid2Controller(mem::DramDevice& hbm,
@@ -242,6 +244,13 @@ hmm::HmmResult Hybrid2Controller::service(Addr addr, AccessType type,
     ++mutable_stats().fetched_blocks_used;
     ++mutable_stats().swaps;
     ++mutable_stats().mode_switches;
+    if (tracing()) {
+      trace()->emit(TraceEvent(res.complete, "page_swap", "hybrid2")
+                        .arg("set", set)
+                        .arg("promoted_seg", seg)
+                        .arg("victim_seg", victim_seg)
+                        .arg("bytes", cfg_.page_bytes));
+    }
     meta_->update(page, res.complete);
   }
   return res;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/trace_event.h"
+
 namespace bb::baselines {
 
 MemPodController::MemPodController(mem::DramDevice& hbm,
@@ -114,6 +116,13 @@ void MemPodController::run_interval(Pod& pod, u32 pod_idx, Tick now) {
     pod.frame_of[cold_page] = hot_frame;
     pod.page_at[cold_frame] = hot_page;
     pod.page_at[hot_frame] = cold_page;
+    if (tracing()) {
+      trace()->emit(TraceEvent(now, "page_swap", "mempod")
+                        .arg("pod", pod_idx)
+                        .arg("hot_page", hot_page)
+                        .arg("cold_page", cold_page)
+                        .arg("bytes", cfg_.page_bytes));
+    }
     ++interval_migrations_;
     ++mutable_stats().swaps;
     mutable_stats().blocks_fetched += cfg_.page_bytes / 64;

@@ -5,6 +5,8 @@
 #include <cstdio>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace_event.h"
 
 namespace bb::bumblebee {
 
@@ -69,15 +71,109 @@ u64 BumblebeeController::metadata_sram_bytes() const {
 BumblebeeController::RatioSample BumblebeeController::ratio() const {
   RatioSample r;
   for (const auto& st : sets_) {
-    for (const auto& b : st.ble) {
-      switch (b.mode) {
-        case Ble::Mode::kCache: ++r.chbm_frames; break;
-        case Ble::Mode::kMem: ++r.mhbm_frames; break;
-        case Ble::Mode::kFree: ++r.free_frames; break;
-      }
+    const RatioSample s = set_ratio(st);
+    r.chbm_frames += s.chbm_frames;
+    r.mhbm_frames += s.mhbm_frames;
+    r.free_frames += s.free_frames;
+  }
+  return r;
+}
+
+BumblebeeController::RatioSample BumblebeeController::set_ratio(
+    const SetState& st) const {
+  RatioSample r;
+  for (const auto& b : st.ble) {
+    switch (b.mode) {
+      case Ble::Mode::kCache: ++r.chbm_frames; break;
+      case Ble::Mode::kMem: ++r.mhbm_frames; break;
+      case Ble::Mode::kFree: ++r.free_frames; break;
     }
   }
   return r;
+}
+
+void BumblebeeController::emit_ratio_transition(const SetState& st, u32 set,
+                                                Tick now, const char* trigger,
+                                                const RatioSample& before) {
+  if (!tracing()) return;
+  const RatioSample after = set_ratio(st);
+  if (after.chbm_frames == before.chbm_frames &&
+      after.mhbm_frames == before.mhbm_frames &&
+      after.free_frames == before.free_frames) {
+    return;
+  }
+  trace()->emit(TraceEvent(now, "remap_ratio_transition", "bumblebee")
+                    .arg("set", set)
+                    .arg("trigger", trigger)
+                    .arg("chbm_before", before.chbm_frames)
+                    .arg("mhbm_before", before.mhbm_frames)
+                    .arg("free_before", before.free_frames)
+                    .arg("chbm_after", after.chbm_frames)
+                    .arg("mhbm_after", after.mhbm_frames)
+                    .arg("free_after", after.free_frames));
+}
+
+void BumblebeeController::register_metrics(MetricRegistry& reg) const {
+  HybridMemoryController::register_metrics(reg);
+  // Global remap-ratio frame counts; one sets_ sweep per probe, but probes
+  // run only at epoch boundaries.
+  reg.add_gauge("chbm_frames", [this] {
+    return static_cast<double>(ratio().chbm_frames);
+  });
+  reg.add_gauge("mhbm_frames", [this] {
+    return static_cast<double>(ratio().mhbm_frames);
+  });
+  reg.add_gauge("free_hbm_frames", [this] {
+    return static_cast<double>(ratio().free_frames);
+  });
+  // Per-set cHBM share (cache frames / HBM frames in the set): the spread
+  // shows how far individual sets deviate from the global ratio.
+  enum class Fold { kMean, kMin, kMax };
+  auto share = [this](Fold fold) {
+    double sum = 0.0;
+    double mn = 1.0;
+    double mx = 0.0;
+    for (const auto& st : sets_) {
+      const RatioSample s = set_ratio(st);
+      const double f =
+          static_cast<double>(s.chbm_frames) / static_cast<double>(geo_.n);
+      sum += f;
+      mn = std::min(mn, f);
+      mx = std::max(mx, f);
+    }
+    switch (fold) {
+      case Fold::kMin: return mn;
+      case Fold::kMax: return mx;
+      case Fold::kMean: break;
+    }
+    return sets_.empty() ? 0.0 : sum / static_cast<double>(sets_.size());
+  };
+  reg.add_gauge("chbm_share_mean", [share] { return share(Fold::kMean); });
+  reg.add_gauge("chbm_share_min", [share] { return share(Fold::kMin); });
+  reg.add_gauge("chbm_share_max", [share] { return share(Fold::kMax); });
+  reg.add_gauge("sets_chbm_disabled", [this] {
+    u64 n = 0;
+    for (const auto& st : sets_) n += st.chbm_disabled ? 1 : 0;
+    return static_cast<double>(n);
+  });
+  // Hot-table movement counters (per-epoch deltas).
+  const BumblebeeStats* bs = &bstats_;
+  reg.add_counter("page_migrations", [bs] {
+    return static_cast<double>(bs->page_migrations);
+  });
+  reg.add_counter("cache_to_mem_switches", [bs] {
+    return static_cast<double>(bs->cache_to_mem_switches);
+  });
+  reg.add_counter("mem_to_cache_buffers", [bs] {
+    return static_cast<double>(bs->mem_to_cache_buffers);
+  });
+  reg.add_counter("zombie_evictions", [bs] {
+    return static_cast<double>(bs->zombie_evictions);
+  });
+  reg.add_counter("set_swaps",
+                  [bs] { return static_cast<double>(bs->set_swaps); });
+  reg.add_counter("os_swap_outs",
+                  [bs] { return static_cast<double>(bs->os_swap_outs); });
 }
 
 // --------------------------------------------------------------- address
@@ -144,6 +240,7 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
   auto alloc_hbm = [&]() -> bool {
     for (u32 k = 0; k < geo_.n; ++k) {
       if (st.ble[k].mode == Ble::Mode::kFree && frame_may_mem(k)) {
+        const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
         st.new_ple[page] = static_cast<std::int32_t>(geo_.m + k);
         st.occup[geo_.m + k] = true;
         Ble& b = st.ble[k];
@@ -151,6 +248,7 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
         b.mode = Ble::Mode::kMem;
         b.ple = page;
         st.hot.move_dram_to_hbm(page);
+        emit_ratio_transition(st, set, now, "allocate_hbm", before);
         return true;
       }
     }
@@ -211,6 +309,7 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
   if (!placed) {
     // OS out of memory in this set: swap out the coldest allocated page
     // (modelled, not timed — the paging model charges capacity faults).
+    const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
     u32 victim = kNoPage;
     u64 best_hot = ~u64{0};
     for (u32 p = 0; p < geo_.slots(); ++p) {
@@ -246,6 +345,13 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
       b.ple = page;
       st.hot.move_dram_to_hbm(page);
     }
+    if (tracing()) {
+      trace()->emit(TraceEvent(now, "os_page_swap_out", "bumblebee")
+                        .arg("set", set)
+                        .arg("victim_page", victim)
+                        .arg("new_page", page));
+      emit_ratio_transition(st, set, now, "os_swap_out", before);
+    }
   }
   st.last_alloc_page = static_cast<std::int32_t>(page);
   verify_set(st, set, "allocate");
@@ -259,6 +365,7 @@ bool BumblebeeController::evict_frame(SetState& st, u32 set, u32 k,
   assert(b.mode != Ble::Mode::kFree);
   const u32 page = b.ple;
   const Addr hbm_page_addr = frame_addr(set, geo_.m + k);
+  const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
 
   if (b.mode == Ble::Mode::kCache) {
     // Write back dirty blocks to the page's off-chip frame.
@@ -276,6 +383,7 @@ bool BumblebeeController::evict_frame(SetState& st, u32 set, u32 k,
     st.hot.move_hbm_to_dram(page);
     ++bstats_.chbm_evictions;
     ++mutable_stats().evictions;
+    emit_ratio_transition(st, set, now, "evict_chbm_copy", before);
     verify_set(st, set, "evict_frame (cHBM copy)");
     return true;
   }
@@ -292,6 +400,7 @@ bool BumblebeeController::evict_frame(SetState& st, u32 set, u32 k,
   st.hot.move_hbm_to_dram(page);
   ++bstats_.mhbm_evictions;
   ++mutable_stats().evictions;
+  emit_ratio_transition(st, set, now, "evict_mhbm_page", before);
   verify_set(st, set, "evict_frame (mHBM page)");
   return true;
 }
@@ -350,6 +459,7 @@ u32 BumblebeeController::reclaim_hbm_frame(SetState& st, u32 set, Tick now,
                             cfg_.enable_caching && !st.chbm_disabled &&
                             !buffered_once && fd != kNoPage;
     if (can_buffer) {
+      const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
       Ble& b = st.ble[k];
       st.new_ple[page] = static_cast<std::int32_t>(fd);
       st.occup[fd] = true;
@@ -362,6 +472,7 @@ u32 BumblebeeController::reclaim_hbm_frame(SetState& st, u32 set, Tick now,
       ++mutable_stats().mode_switches;
       buffered_once = true;
       buffered_page = page;
+      emit_ratio_transition(st, set, now, "mhbm_to_chbm_buffering", before);
       verify_set(st, set, "reclaim_hbm_frame (mHBM->cHBM buffering)");
       continue;
     }
@@ -376,6 +487,7 @@ u32 BumblebeeController::reclaim_hbm_frame(SetState& st, u32 set, Tick now,
 
 void BumblebeeController::migrate_page(SetState& st, u32 set, u32 page,
                                        u32 target_ble, u32 block, Tick now) {
+  const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
   Ble& b = st.ble[target_ble];
   assert(b.mode == Ble::Mode::kFree);
   const u32 src = static_cast<u32>(st.new_ple[page]);
@@ -399,6 +511,7 @@ void BumblebeeController::migrate_page(SetState& st, u32 set, u32 page,
   st.hot.move_dram_to_hbm(page);
   ++bstats_.page_migrations;
   ++mutable_stats().migrations;
+  emit_ratio_transition(st, set, now, "migrate_page", before);
   verify_set(st, set, "migrate_page");
 }
 
@@ -406,6 +519,7 @@ void BumblebeeController::cache_block(SetState& st, u32 set, u32 page,
                                       u32 block, Tick now, bool mark_dirty) {
   u32 k = st.cache_frame_of(page);
   if (k == kNoPage) {
+    const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
     for (u32 i = 0; i < geo_.n; ++i) {
       if (st.ble[i].mode == Ble::Mode::kFree && frame_may_cache(i)) {
         k = i;
@@ -418,6 +532,7 @@ void BumblebeeController::cache_block(SetState& st, u32 set, u32 page,
     nb.mode = Ble::Mode::kCache;
     nb.ple = page;
     st.hot.move_dram_to_hbm(page);
+    emit_ratio_transition(st, set, now, "cache_block_new_frame", before);
   }
   Ble& b = st.ble[k];
   const u32 home = static_cast<u32>(st.new_ple[page]);
@@ -505,6 +620,7 @@ void BumblebeeController::switch_cache_to_mem(SetState& st, u32 set, u32 k,
     mutable_stats().blocks_fetched += geo_.blocks_per_page;
   }
 
+  const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
   st.new_ple[page] = static_cast<std::int32_t>(geo_.m + k);
   st.occup[home] = false;
   st.occup[geo_.m + k] = true;
@@ -512,6 +628,7 @@ void BumblebeeController::switch_cache_to_mem(SetState& st, u32 set, u32 k,
   // b.valid now tracks accessed blocks — the cached blocks were accessed.
   ++bstats_.cache_to_mem_switches;
   ++mutable_stats().mode_switches;
+  emit_ratio_transition(st, set, now, "cache_to_mem_switch", before);
   verify_set(st, set, "switch_cache_to_mem");
 }
 
@@ -562,6 +679,13 @@ void BumblebeeController::swap_with_coldest(SetState& st, u32 set, u32 page,
   st.hot.move_dram_to_hbm(page);
   ++bstats_.set_swaps;
   ++mutable_stats().swaps;
+  if (tracing()) {
+    trace()->emit(TraceEvent(now, "page_swap", "bumblebee")
+                      .arg("set", set)
+                      .arg("hot_page", page)
+                      .arg("cold_page", cold_page)
+                      .arg("bytes", geo_.page_bytes));
+  }
   verify_set(st, set, "swap_with_coldest");
 }
 
@@ -573,6 +697,10 @@ void BumblebeeController::flush_set_chbm(SetState& st, u32 set, Tick now) {
   }
   st.chbm_disabled = true;
   ++bstats_.batch_flushes;
+  if (tracing()) {
+    trace()->emit(TraceEvent(now, "set_chbm_flush", "bumblebee")
+                      .arg("set", set));
+  }
   verify_set(st, set, "flush_set_chbm");
 }
 

@@ -87,6 +87,11 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   };
   Location locate(Addr addr) const;
 
+  /// Base metrics plus the remap-ratio / hot-table time series (global
+  /// cHBM/mHBM/free frame counts, per-set cHBM share mean/min/max, movement
+  /// counters, sets with caching disabled).
+  void register_metrics(MetricRegistry& reg) const override;
+
  protected:
   hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
 
@@ -155,6 +160,16 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   /// transition (`where` names the transition in the failure message).
   /// Compiles to nothing when checking is disabled.
   void verify_set(const SetState& st, u32 set, const char* where) const;
+
+  /// One set's cHBM/mHBM/free frame counts (same fields as the global
+  /// RatioSample).
+  RatioSample set_ratio(const SetState& st) const;
+
+  /// Emits a remap_ratio_transition trace event for `set` if its frame-mode
+  /// counts changed relative to `before` (no-op when tracing is off —
+  /// callers snapshot `before` only under tracing()).
+  void emit_ratio_transition(const SetState& st, u32 set, Tick now,
+                             const char* trigger, const RatioSample& before);
 
   BumblebeeConfig cfg_;
   Geometry geo_;

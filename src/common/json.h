@@ -1,13 +1,16 @@
-// Minimal JSON emission helpers for result export.
+// Minimal JSON emission and parsing helpers.
 //
 // The experiment runner exports machine-readable per-run results as JSON
-// alongside the flat CSV (write_json / write_csv). Only emission is needed
-// — nothing in the simulator parses JSON — so these helpers stay tiny and
-// locale-independent rather than pulling in a library.
+// alongside the flat CSV (write_json / write_csv), and the checkpoint
+// journal reads single-line JSON objects back on resume. Both sides stay
+// tiny and locale-independent rather than pulling in a library.
 #pragma once
 
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace bb {
 
@@ -19,5 +22,33 @@ std::string json_escape(std::string_view s);
 /// round-trips exactly, locale-independent. Non-finite values (which JSON
 /// cannot represent) are emitted as null.
 std::string json_double(double v);
+
+/// Parsed JSON value. Objects keep keys in a std::map (sorted, so
+/// iteration is deterministic); numbers are stored as double.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Convenience accessors returning a fallback on type mismatch.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback = {}) const;
+  double get_number(const std::string& key, double fallback = 0.0) const;
+};
+
+/// Parses one JSON document from `text`. Returns false (and fills `error`
+/// if non-null) on malformed input or trailing garbage.
+bool json_parse(std::string_view text, JsonValue& out,
+                std::string* error = nullptr);
 
 }  // namespace bb

@@ -8,15 +8,36 @@ Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
 
 void Histogram::sample(double v, u64 weight) {
-  std::size_t i = 0;
-  while (i < bounds_.size() && v >= bounds_[i]) ++i;
-  counts_[i] += weight;
+  // First bucket whose upper bound is > v; past-the-end means overflow.
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())] += weight;
   total_ += weight;
 }
 
 double Histogram::fraction(std::size_t i) const {
   if (total_ == 0) return 0.0;
   return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double n = static_cast<double>(counts_[i]);
+    if (cum + n < target || n == 0.0) {
+      cum += n;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket has no upper edge; clamp to the last finite bound.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+    return lower + (bounds_[i] - lower) * (target - cum) / n;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
 void Histogram::reset() {

@@ -58,6 +58,9 @@ class ScalarStat {
 /// beyond the last bound land in an overflow bucket.
 class Histogram {
  public:
+  /// Empty histogram (single overflow bucket); useful as a default member
+  /// that is later replaced by one with real bounds.
+  Histogram() : Histogram(std::vector<double>{}) {}
   explicit Histogram(std::vector<double> upper_bounds);
 
   void sample(double v, u64 weight = 1);
@@ -69,6 +72,13 @@ class Histogram {
 
   /// Fraction of samples in bucket i (0 if empty histogram).
   double fraction(std::size_t i) const;
+
+  /// Estimates the q-quantile (q in [0, 1]) by linear interpolation within
+  /// the bucket containing the target rank. Bucket i spans
+  /// [bounds[i-1], bounds[i]) with bucket 0 starting at 0; samples in the
+  /// overflow bucket are clamped to the last bound (a histogram cannot know
+  /// how far past it they landed). Returns 0 for an empty histogram.
+  double quantile(double q) const;
 
   void reset();
 

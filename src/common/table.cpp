@@ -43,30 +43,28 @@ void TextTable::print(std::ostream& os) const {
 }
 
 void TextTable::print_csv(std::ostream& os) const {
-  // RFC 4180: a cell containing a comma, double quote, or line break is
-  // quoted, and embedded double quotes are doubled.
-  auto emit_cell = [&](const std::string& cell) {
-    const bool quote = cell.find_first_of(",\"\r\n") != std::string::npos;
-    if (!quote) {
-      os << cell;
-      return;
-    }
-    os << '"';
-    for (const char ch : cell) {
-      if (ch == '"') os << '"';
-      os << ch;
-    }
-    os << '"';
-  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
-      emit_cell(row[c]);
+      os << csv_escape(row[c]);
       if (c + 1 < row.size()) os << ',';
     }
     os << '\n';
   };
   emit(headers_);
   for (const auto& row : rows_) emit(row);
+}
+
+std::string csv_escape(const std::string& cell) {
+  // RFC 4180: a cell containing a comma, double quote, or line break is
+  // quoted, and embedded double quotes are doubled.
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
 }
 
 std::string fmt_double(double v, int decimals) {

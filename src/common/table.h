@@ -31,6 +31,11 @@ class TextTable {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Escapes one CSV cell per RFC 4180: returned verbatim unless it contains
+/// a comma, double quote, or line break, in which case it is quoted with
+/// embedded quotes doubled.
+std::string csv_escape(const std::string& cell);
+
 /// Formats a double with the given number of decimals (locale-independent).
 std::string fmt_double(double v, int decimals = 2);
 

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+#include "common/trace_event.h"
+
 namespace bb::hmm {
+
+std::vector<double> HmmStats::latency_bounds_ns() {
+  // Fine steps through the HBM/DRAM hit range, widening geometrically into
+  // the fault-penalty tail; the overflow bucket catches pathological waits.
+  return {20,   40,   60,   80,   100,  120,   140,   160,   180,
+          200,  225,  250,  275,  300,  350,   400,   450,   500,
+          600,  700,  800,  1000, 1250, 1500,  2000,  3000,  5000,
+          7500, 10000, 20000, 50000, 100000};
+}
 
 HybridMemoryController::HybridMemoryController(std::string name,
                                                mem::DramDevice& hbm,
@@ -12,7 +24,7 @@ HybridMemoryController::HybridMemoryController(std::string name,
 
 HmmResult HybridMemoryController::access(Addr addr, AccessType type,
                                          Tick now) {
-  const Tick fault = paging_.touch(addr);
+  const Tick fault = paging_.touch(addr, now);
   HmmResult res = service(addr, type, now + fault);
   res.fault_penalty = fault;
   res.complete += 0;  // service() already accounts from the delayed start
@@ -26,7 +38,41 @@ HmmResult HybridMemoryController::access(Addr addr, AccessType type,
   if (res.served_by_hbm) ++stats_.hbm_served;
   stats_.total_latency += res.complete - now;
   stats_.total_metadata_latency += res.metadata_latency;
+  stats_.latency_ns.sample(ticks_to_ns(res.complete - now));
+  if (sampler_) sampler_->on_request(now);
   return res;
+}
+
+void HybridMemoryController::set_trace_sink(TraceSink* sink) {
+  trace_ = sink;
+  paging_.set_trace_sink(sink);
+}
+
+void HybridMemoryController::register_metrics(MetricRegistry& reg) const {
+  // No "requests" counter here: the sampler's fixed `requests` column
+  // already reports the per-epoch request count.
+  const HmmStats* st = &stats_;
+  reg.add_ratio(
+      "hbm_serve_rate",
+      [st] { return static_cast<double>(st->hbm_served); },
+      [st] { return static_cast<double>(st->requests); });
+  reg.add_ratio(
+      "mean_latency_ns",
+      [st] { return ticks_to_ns(st->total_latency); },
+      [st] { return static_cast<double>(st->requests); });
+  hbm_.register_metrics(reg, "hbm_");
+  dram_.register_metrics(reg, "dram_");
+  const PagingModel* pg = &paging_;
+  reg.add_counter("page_faults", [pg] {
+    return static_cast<double>(pg->stats().faults);
+  });
+}
+
+void HybridMemoryController::on_warmup_end(Tick now) {
+  if (trace_) {
+    trace_->emit(TraceEvent(now, "warmup_end", "sim"));
+  }
+  if (sampler_) sampler_->restart(now);
 }
 
 Tick HybridMemoryController::move_data(mem::DramDevice& src, Addr src_addr,

@@ -19,11 +19,19 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/stats.h"
 #include "common/types.h"
 #include "hmm/metadata.h"
 #include "hmm/paging.h"
 #include "mem/dram_device.h"
+
+namespace bb {
+class EpochSampler;
+class MetricRegistry;
+class TraceSink;
+}  // namespace bb
 
 namespace bb::hmm {
 
@@ -54,6 +62,12 @@ struct HmmStats {
   u64 hbm_served = 0;   ///< demand requests whose data came from HBM
   Tick total_latency = 0;
   Tick total_metadata_latency = 0;
+
+  /// Bucket upper bounds (ns) for the per-request latency histogram below.
+  static std::vector<double> latency_bounds_ns();
+  /// Per-request end-to-end latency distribution (ns), including fault
+  /// penalties — the source of the reported p50/p90/p99/p99.9.
+  Histogram latency_ns{latency_bounds_ns()};
 
   // Over-fetch accounting: blocks brought into HBM speculatively (fills,
   // page migrations) vs how many of them were touched before leaving HBM.
@@ -116,6 +130,24 @@ class HybridMemoryController {
   /// SRAM bytes this design needs for its metadata structures.
   virtual u64 metadata_sram_bytes() const = 0;
 
+  /// Attaches / detaches (nullptr) the structured event trace sink. The
+  /// paging model shares it (OS fault / swap-out events).
+  void set_trace_sink(TraceSink* sink);
+  /// Attaches / detaches (nullptr) the epoch time-series sampler; when set,
+  /// every demand request advances it at the request's simulated tick.
+  void set_epoch_sampler(EpochSampler* sampler) { sampler_ = sampler; }
+
+  /// Registers this design's epoch metrics. The base class contributes the
+  /// framework metrics every design shares (serve rate, mean latency, per
+  /// traffic-class bytes on both devices, row-hit rates, page faults);
+  /// overrides call the base and append design-specific probes.
+  virtual void register_metrics(MetricRegistry& reg) const;
+
+  /// Warmup boundary: called once when measurement starts (right after the
+  /// stats reset at the warmup instruction count). Emits the warmup_end
+  /// trace event and re-baselines the epoch sampler at `now`.
+  virtual void on_warmup_end(Tick now);
+
   const std::string& name() const { return name_; }
   const HmmStats& stats() const { return stats_; }
 
@@ -145,6 +177,11 @@ class HybridMemoryController {
 
   HmmStats& mutable_stats() { return stats_; }
 
+  /// Event trace sink, nullptr when tracing is off. Designs test this
+  /// before building an event so disabled tracing costs one pointer test.
+  TraceSink* trace() const { return trace_; }
+  bool tracing() const { return trace_ != nullptr; }
+
  private:
   std::string name_;
   mem::DramDevice& hbm_;
@@ -152,6 +189,8 @@ class HybridMemoryController {
   PagingModel paging_;
   HmmStats stats_;
   std::function<void(const MoveEvent&)> movement_hook_;
+  TraceSink* trace_ = nullptr;
+  EpochSampler* sampler_ = nullptr;
 };
 
 /// The normalization baseline: no HBM at all; every request goes to the

@@ -1,5 +1,7 @@
 #include "hmm/paging.h"
 
+#include "common/trace_event.h"
+
 namespace bb::hmm {
 
 PagingModel::PagingModel(const PagingConfig& cfg)
@@ -7,7 +9,7 @@ PagingModel::PagingModel(const PagingConfig& cfg)
       capacity_pages_(cfg.enabled ? cfg.visible_bytes / cfg.os_page_bytes
                                   : 0) {}
 
-Tick PagingModel::touch(Addr addr) {
+Tick PagingModel::touch(Addr addr, Tick now) {
   if (!cfg_.enabled) return 0;
   const u64 page = addr / cfg_.os_page_bytes;
 
@@ -36,12 +38,19 @@ Tick PagingModel::touch(Addr addr) {
     }
     break;
   }
-  resident_.erase(ring_[hand_]);
+  const u64 victim = ring_[hand_];
+  resident_.erase(victim);
   ring_[hand_] = page;
   referenced_[hand_] = true;
   resident_.emplace(page, static_cast<u32>(hand_));
   ++hand_;
   ++stats_.faults;
+  if (trace_) {
+    trace_->emit(TraceEvent(now, "os_page_swap_out", "paging")
+                     .arg("faulting_page", page)
+                     .arg("victim_page", victim)
+                     .arg("penalty_ns", ticks_to_ns(cfg_.fault_penalty)));
+  }
   return cfg_.fault_penalty;
 }
 

@@ -14,6 +14,10 @@
 
 #include "common/types.h"
 
+namespace bb {
+class TraceSink;
+}  // namespace bb
+
 namespace bb::hmm {
 
 struct PagingConfig {
@@ -32,14 +36,20 @@ class PagingModel {
  public:
   explicit PagingModel(const PagingConfig& cfg);
 
-  /// Touches the OS page containing `addr`; returns the penalty (0 or the
-  /// configured fault penalty) to add to the request latency.
-  Tick touch(Addr addr);
+  /// Touches the OS page containing `addr` at simulated tick `now`;
+  /// returns the penalty (0 or the configured fault penalty) to add to the
+  /// request latency.
+  Tick touch(Addr addr, Tick now = 0);
+
+  /// Attaches / detaches (nullptr) the event trace sink; capacity faults
+  /// then emit os_page_swap_out events (victim page evicted).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
   const PagingStats& stats() const { return stats_; }
   const PagingConfig& config() const { return cfg_; }
 
  private:
+  TraceSink* trace_ = nullptr;
   PagingConfig cfg_;
   u64 capacity_pages_;
   PagingStats stats_;

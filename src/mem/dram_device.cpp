@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
+
 namespace bb::mem {
 
 DramDevice::DramDevice(DramTimingParams params)
@@ -158,6 +160,25 @@ Tick DramDevice::probe_ready(Addr addr, Tick now) const {
 void DramDevice::reset_stats() {
   stats_ = DramStats{};
   energy_.reset();
+}
+
+void DramDevice::register_metrics(MetricRegistry& reg,
+                                  const std::string& prefix) const {
+  const DramStats* st = &stats_;
+  reg.add_ratio(
+      prefix + "row_hit_rate",
+      [st] { return static_cast<double>(st->row_hits); },
+      [st] {
+        return static_cast<double>(st->row_hits + st->row_misses +
+                                   st->row_empty);
+      });
+  for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+    reg.add_counter(
+        prefix + "bytes_" + to_string(static_cast<TrafficClass>(c)),
+        [st, c] {
+          return static_cast<double>(st->read_bytes[c] + st->write_bytes[c]);
+        });
+  }
 }
 
 }  // namespace bb::mem

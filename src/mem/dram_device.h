@@ -16,10 +16,16 @@
 #include <array>
 #include <vector>
 
+#include <string>
+
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/energy.h"
 #include "mem/timing.h"
+
+namespace bb {
+class MetricRegistry;
+}  // namespace bb
 
 namespace bb::mem {
 
@@ -105,6 +111,10 @@ class DramDevice {
 
   /// Clears statistics (bank/bus state is retained).
   void reset_stats();
+
+  /// Registers this device's epoch metrics under `prefix` (e.g. "hbm_"):
+  /// per-epoch row-hit rate and bytes moved per traffic class.
+  void register_metrics(MetricRegistry& reg, const std::string& prefix) const;
 
  private:
   struct Bank {

@@ -43,6 +43,11 @@ CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
   u64 inst_at_reset = 0;
   Tick tick_at_reset = 0;
   bool warm = warmup_instructions == 0;
+  if (warm) {
+    // No warmup: the measured phase starts at tick 0. Announce it anyway so
+    // the warmup_end trace event and epoch-0 alignment are unconditional.
+    hmmc.on_warmup_end(0);
+  }
   const u64 end_inst = target_instructions + warmup_instructions;
   while (total_inst < end_inst) {
     if (!warm && total_inst >= warmup_instructions) {
@@ -54,6 +59,7 @@ CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
       hmmc.reset_stats();
       hmmc.hbm().reset_stats();
       hmmc.dram().reset_stats();
+      hmmc.on_warmup_end(tick_at_reset);
       measured_misses = 0;
     }
     // Advance the core that is furthest behind in simulated time, so

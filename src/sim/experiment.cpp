@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <istream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,114 @@
 #include "common/thread_pool.h"
 
 namespace bb::sim {
+
+namespace {
+
+void append_class_object(std::string& out,
+                         const std::array<u64, mem::kTrafficClassCount>&
+                             bytes) {
+  out += '{';
+  for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
+    if (c) out += ',';
+    out += '"';
+    out += mem::to_string(static_cast<mem::TrafficClass>(c));
+    out += "\":";
+    out += std::to_string(bytes[c]);
+  }
+  out += '}';
+}
+
+/// One result as a single-line JSON object — the element format of
+/// write_json and the line format of the checkpoint journal.
+std::string result_to_json(const RunResult& r) {
+  std::string out = "{";
+  out += "\"design\":\"" + json_escape(r.design) + "\",";
+  out += "\"workload\":\"" + json_escape(r.workload) + "\",";
+  out += "\"instructions\":" + std::to_string(r.instructions) + ',';
+  out += "\"misses\":" + std::to_string(r.misses) + ',';
+  out += "\"ipc\":" + json_double(r.ipc) + ',';
+  out += "\"hbm_bytes\":" + std::to_string(r.hbm_bytes) + ',';
+  out += "\"dram_bytes\":" + std::to_string(r.dram_bytes) + ',';
+  out += "\"energy_mj\":" + json_double(r.energy_mj) + ',';
+  out += "\"hbm_serve_rate\":" + json_double(r.hbm_serve_rate) + ',';
+  out += "\"mean_latency_ns\":" + json_double(r.mean_latency_ns) + ',';
+  out += "\"latency_p50_ns\":" + json_double(r.latency_p50_ns) + ',';
+  out += "\"latency_p90_ns\":" + json_double(r.latency_p90_ns) + ',';
+  out += "\"latency_p99_ns\":" + json_double(r.latency_p99_ns) + ',';
+  out += "\"latency_p999_ns\":" + json_double(r.latency_p999_ns) + ',';
+  out += "\"mal_fraction\":" + json_double(r.mal_fraction) + ',';
+  out += "\"overfetch\":" + json_double(r.overfetch) + ',';
+  out += "\"page_faults\":" + std::to_string(r.page_faults) + ',';
+  out += "\"metadata_sram_bytes\":" + std::to_string(r.metadata_sram_bytes) +
+         ',';
+  out += "\"hbm_class_bytes\":";
+  append_class_object(out, r.hbm_class_bytes);
+  out += ",\"dram_class_bytes\":";
+  append_class_object(out, r.dram_class_bytes);
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::size_t ResultJournal::load(std::istream& is) {
+  std::size_t restored = 0;
+  std::string line_text;
+  while (std::getline(is, line_text)) {
+    if (line_text.empty()) continue;
+    JsonValue v;
+    if (!json_parse(line_text, v) || !v.is_object()) continue;
+    RunResult r;
+    r.design = v.get_string("design");
+    r.workload = v.get_string("workload");
+    if (r.design.empty() || r.workload.empty()) continue;
+    r.instructions = static_cast<u64>(v.get_number("instructions"));
+    r.misses = static_cast<u64>(v.get_number("misses"));
+    r.ipc = v.get_number("ipc");
+    r.hbm_bytes = static_cast<u64>(v.get_number("hbm_bytes"));
+    r.dram_bytes = static_cast<u64>(v.get_number("dram_bytes"));
+    r.energy_mj = v.get_number("energy_mj");
+    r.hbm_serve_rate = v.get_number("hbm_serve_rate");
+    r.mean_latency_ns = v.get_number("mean_latency_ns");
+    r.latency_p50_ns = v.get_number("latency_p50_ns");
+    r.latency_p90_ns = v.get_number("latency_p90_ns");
+    r.latency_p99_ns = v.get_number("latency_p99_ns");
+    r.latency_p999_ns = v.get_number("latency_p999_ns");
+    r.mal_fraction = v.get_number("mal_fraction");
+    r.overfetch = v.get_number("overfetch");
+    r.page_faults = static_cast<u64>(v.get_number("page_faults"));
+    r.metadata_sram_bytes =
+        static_cast<u64>(v.get_number("metadata_sram_bytes"));
+    const auto load_classes =
+        [&v](const char* key,
+             std::array<u64, mem::kTrafficClassCount>& out) {
+          const JsonValue* obj = v.find(key);
+          if (!obj || !obj->is_object()) return;
+          for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
+            out[c] = static_cast<u64>(obj->get_number(
+                mem::to_string(static_cast<mem::TrafficClass>(c))));
+          }
+        };
+    load_classes("hbm_class_bytes", r.hbm_class_bytes);
+    load_classes("dram_class_bytes", r.dram_class_bytes);
+    rows_.push_back(std::move(r));
+    ++restored;
+  }
+  return restored;
+}
+
+const RunResult* ResultJournal::find(const std::string& design,
+                                     const std::string& workload) const {
+  // Last line wins, in case an interrupted run journaled a cell twice.
+  for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
+    if (it->design == design && it->workload == workload) return &*it;
+  }
+  return nullptr;
+}
+
+std::string ResultJournal::line(const RunResult& r) {
+  return result_to_json(r);
+}
 
 ExperimentRunner::ExperimentRunner(SystemConfig cfg) : cfg_(std::move(cfg)) {}
 
@@ -26,7 +135,7 @@ void ExperimentRunner::run_matrix(
                  const trace::WorkloadProfile& w, u64 instr) {
         return system.run(designs[d], w, instr);
       },
-      opts);
+      [&designs](std::size_t d) { return designs[d]; }, opts);
 }
 
 void ExperimentRunner::run_matrix(
@@ -56,14 +165,23 @@ void ExperimentRunner::run_bumblebee_matrix(
         r.design = configs[d].first;
         return r;
       },
-      opts);
+      [&configs](std::size_t d) { return configs[d].first; }, opts);
 }
 
 void ExperimentRunner::run_cells(
     std::size_t n_designs, const std::vector<trace::WorkloadProfile>& workloads,
-    const CellFn& cell, const RunMatrixOptions& opts) {
+    const CellFn& cell, const DesignNameFn& design_name,
+    const RunMatrixOptions& opts) {
   const std::size_t total = n_designs * workloads.size();
   if (total == 0) return;
+
+  // Resume: cells present in the journal are restored, not re-simulated.
+  // on_result is skipped for them (they are already journaled).
+  auto restored_cell = [&](std::size_t d,
+                           std::size_t w) -> const RunResult* {
+    if (!opts.resume) return nullptr;
+    return opts.resume->find(design_name(d), workloads[w].name);
+  };
 
   std::vector<u64> instr(workloads.size());
   for (std::size_t i = 0; i < workloads.size(); ++i) {
@@ -96,6 +214,11 @@ void ExperimentRunner::run_cells(
     std::size_t done = 0;
     for (std::size_t w = 0; w < workloads.size(); ++w) {
       for (std::size_t d = 0; d < n_designs; ++d) {
+        if (const RunResult* prior = restored_cell(d, w)) {
+          if (opts.progress) report(++done);
+          results_.push_back(*prior);
+          continue;
+        }
         RunResult r = cell(system, d, workloads[w], instr[w]);
         if (opts.progress) report(++done);
         if (opts.on_result) opts.on_result(r);
@@ -117,6 +240,7 @@ void ExperimentRunner::run_cells(
 
   std::vector<RunResult> slots(total);
   std::vector<char> ready(total, 0);
+  std::vector<char> restored(total, 0);
   std::mutex mu;
   std::size_t committed = 0;
   std::size_t completed = 0;
@@ -125,14 +249,24 @@ void ExperimentRunner::run_cells(
   pool.parallel_for(total, [&](std::size_t i, unsigned worker) {
     const std::size_t w = i / n_designs;
     const std::size_t d = i % n_designs;
-    RunResult r = cell(*systems[worker], d, workloads[w], instr[w]);
+    RunResult r;
+    bool from_journal = false;
+    if (const RunResult* prior = restored_cell(d, w)) {
+      r = *prior;
+      from_journal = true;
+    } else {
+      r = cell(*systems[worker], d, workloads[w], instr[w]);
+    }
 
     std::lock_guard<std::mutex> lk(mu);
     slots[i] = std::move(r);
     ready[i] = 1;
+    restored[i] = from_journal ? 1 : 0;
     if (opts.progress) report(++completed);
     while (committed < total && ready[committed]) {
-      if (opts.on_result) opts.on_result(slots[committed]);
+      if (opts.on_result && !restored[committed]) {
+        opts.on_result(slots[committed]);
+      }
       results_.push_back(std::move(slots[committed]));
       ++committed;
     }
@@ -168,14 +302,19 @@ std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
 void ExperimentRunner::write_csv(std::ostream& os) const {
   TextTable t({"design", "workload", "instructions", "misses", "ipc",
                "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
-               "mean_latency_ns", "mal_fraction", "overfetch",
-               "page_faults", "metadata_sram_bytes"});
+               "mean_latency_ns", "latency_p50_ns", "latency_p90_ns",
+               "latency_p99_ns", "latency_p999_ns", "mal_fraction",
+               "overfetch", "page_faults", "metadata_sram_bytes"});
   for (const auto& r : results_) {
     t.add_row({r.design, r.workload, std::to_string(r.instructions),
                std::to_string(r.misses), fmt_double(r.ipc, 4),
                std::to_string(r.hbm_bytes), std::to_string(r.dram_bytes),
                fmt_double(r.energy_mj, 4), fmt_double(r.hbm_serve_rate, 4),
                fmt_double(r.mean_latency_ns, 2),
+               fmt_double(r.latency_p50_ns, 2),
+               fmt_double(r.latency_p90_ns, 2),
+               fmt_double(r.latency_p99_ns, 2),
+               fmt_double(r.latency_p999_ns, 2),
                fmt_double(r.mal_fraction, 4), fmt_double(r.overfetch, 4),
                std::to_string(r.page_faults),
                std::to_string(r.metadata_sram_bytes)});
@@ -184,43 +323,60 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
 }
 
 void ExperimentRunner::write_json(std::ostream& os) const {
-  const auto class_object = [](std::ostream& o,
-                               const std::array<u64, mem::kTrafficClassCount>&
-                                   bytes) {
-    o << '{';
-    for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
-      if (c) o << ',';
-      o << '"' << mem::to_string(static_cast<mem::TrafficClass>(c))
-        << "\":" << bytes[c];
-    }
-    o << '}';
-  };
-
   os << "[\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
-    const RunResult& r = results_[i];
-    os << "  {"
-       << "\"design\":\"" << json_escape(r.design) << "\","
-       << "\"workload\":\"" << json_escape(r.workload) << "\","
-       << "\"instructions\":" << r.instructions << ','
-       << "\"misses\":" << r.misses << ','
-       << "\"ipc\":" << json_double(r.ipc) << ','
-       << "\"hbm_bytes\":" << r.hbm_bytes << ','
-       << "\"dram_bytes\":" << r.dram_bytes << ','
-       << "\"energy_mj\":" << json_double(r.energy_mj) << ','
-       << "\"hbm_serve_rate\":" << json_double(r.hbm_serve_rate) << ','
-       << "\"mean_latency_ns\":" << json_double(r.mean_latency_ns) << ','
-       << "\"mal_fraction\":" << json_double(r.mal_fraction) << ','
-       << "\"overfetch\":" << json_double(r.overfetch) << ','
-       << "\"page_faults\":" << r.page_faults << ','
-       << "\"metadata_sram_bytes\":" << r.metadata_sram_bytes << ','
-       << "\"hbm_class_bytes\":";
-    class_object(os, r.hbm_class_bytes);
-    os << ",\"dram_class_bytes\":";
-    class_object(os, r.dram_class_bytes);
-    os << '}' << (i + 1 < results_.size() ? "," : "") << '\n';
+    os << "  " << result_to_json(results_[i])
+       << (i + 1 < results_.size() ? "," : "") << '\n';
   }
   os << "]\n";
+}
+
+void ExperimentRunner::write_epoch_csv(std::ostream& os) const {
+  // Union of all runs' metric columns, in first-seen (matrix) order, so
+  // mixed matrices (e.g. DRAM-only next to Bumblebee, which adds remap
+  // metrics) share one header.
+  std::vector<std::string> columns;
+  for (const auto& r : results_) {
+    if (!r.artifacts) continue;
+    for (const auto& name : r.artifacts->epoch_columns) {
+      if (std::find(columns.begin(), columns.end(), name) == columns.end()) {
+        columns.push_back(name);
+      }
+    }
+  }
+  write_epoch_csv_header(os, {"design", "workload"}, columns);
+  for (const auto& r : results_) {
+    if (!r.artifacts) continue;
+    write_epoch_csv_rows(os, {r.design, r.workload},
+                         r.artifacts->epoch_columns, columns,
+                         r.artifacts->epochs);
+  }
+}
+
+void ExperimentRunner::write_trace(std::ostream& os,
+                                   TraceFormat format) const {
+  if (format == TraceFormat::kJsonl) {
+    for (const auto& r : results_) {
+      if (!r.artifacts) continue;
+      const std::string extra = "\"design\":\"" + json_escape(r.design) +
+                                "\",\"workload\":\"" +
+                                json_escape(r.workload) + "\",";
+      write_trace_jsonl(r.artifacts->events, os, extra);
+    }
+    return;
+  }
+  // Chrome trace_event: one process per run so Perfetto shows each
+  // (design, workload) cell as its own named track.
+  write_trace_chrome_header(os);
+  bool first = true;
+  u64 pid = 0;
+  for (const auto& r : results_) {
+    if (!r.artifacts) continue;
+    write_trace_chrome_events(r.artifacts->events, os, pid,
+                              r.design + " / " + r.workload, first);
+    ++pid;
+  }
+  write_trace_chrome_footer(os);
 }
 
 }  // namespace bb::sim

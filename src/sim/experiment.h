@@ -21,6 +21,29 @@
 
 namespace bb::sim {
 
+/// Checkpoint journal for long sweeps: one JSON object per completed cell,
+/// appended as cells finish (wire RunMatrixOptions::on_result to
+/// append_line on an O_APPEND stream). On restart, load() the file and pass
+/// the journal via RunMatrixOptions::resume — finished (design, workload)
+/// cells are restored from it instead of re-simulated.
+class ResultJournal {
+ public:
+  /// Parses journal lines. Malformed lines (e.g. a truncated final line
+  /// from a killed run) are skipped, not fatal. Returns lines restored.
+  std::size_t load(std::istream& is);
+
+  const RunResult* find(const std::string& design,
+                        const std::string& workload) const;
+  std::size_t size() const { return rows_.size(); }
+
+  /// Serializes one result as a single journal line (no newline). The
+  /// line is the same JSON object write_json emits for the run.
+  static std::string line(const RunResult& r);
+
+ private:
+  std::vector<RunResult> rows_;
+};
+
 /// Execution options for run_matrix / run_bumblebee_matrix.
 struct RunMatrixOptions {
   /// Worker threads for the matrix. 0 = one per hardware thread; 1 runs the
@@ -29,6 +52,8 @@ struct RunMatrixOptions {
   /// Called once per completed cell, always in matrix order (workload-major,
   /// design-minor) regardless of which worker finished first. Invoked under
   /// the runner's commit lock, so it needs no synchronization of its own.
+  /// Not called for cells restored from `resume` (they are already
+  /// journaled).
   std::function<void(const RunResult&)> on_result;
   /// Emit a cells-done / elapsed / ETA line to stderr as cells complete.
   bool progress = false;
@@ -38,6 +63,9 @@ struct RunMatrixOptions {
   u64 target_misses = 200'000;
   u64 min_instructions = 50'000'000;
   u64 max_instructions = 400'000'000;
+  /// Checkpoint journal from an earlier (interrupted) run of the same
+  /// matrix: cells found in it are restored, not re-simulated.
+  const ResultJournal* resume = nullptr;
 };
 
 class ExperimentRunner {
@@ -89,15 +117,31 @@ class ExperimentRunner {
   /// into single totals.
   void write_json(std::ostream& os) const;
 
+  /// Writes the epoch time-series of every run that carries artifacts as
+  /// one flat CSV: design, workload, epoch, start/end tick, requests, then
+  /// the union of all runs' metric columns (cells a run lacks stay empty).
+  /// Rows appear in matrix order, so the file is --jobs independent.
+  void write_epoch_csv(std::ostream& os) const;
+
+  enum class TraceFormat { kJsonl, kChrome };
+
+  /// Writes every run's trace events. kJsonl: one JSON object per event
+  /// with design/workload stamped on each line. kChrome: a single Chrome
+  /// trace_event document (Perfetto-loadable) with one process per run.
+  void write_trace(std::ostream& os, TraceFormat format) const;
+
  private:
   /// One matrix cell: run design index `d` of the current matrix against
   /// `w` for `instr` instructions on the given (worker-private) System.
   using CellFn = std::function<RunResult(
       System&, std::size_t d, const trace::WorkloadProfile& w, u64 instr)>;
+  /// Maps a design index to the name resume-journal rows are keyed by.
+  using DesignNameFn = std::function<std::string(std::size_t)>;
 
   void run_cells(std::size_t n_designs,
                  const std::vector<trace::WorkloadProfile>& workloads,
-                 const CellFn& cell, const RunMatrixOptions& opts);
+                 const CellFn& cell, const DesignNameFn& design_name,
+                 const RunMatrixOptions& opts);
 
   SystemConfig cfg_;
   std::vector<RunResult> results_;

@@ -34,10 +34,28 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
                               u64 instructions) {
 
   CoreModel core(cfg_.core);
+
+  // Observability attachments (all per-run and buffered in memory, so the
+  // run itself stays deterministic and jobs-independent).
+  MemoryTraceSink sink;
+  std::unique_ptr<EpochSampler> sampler;
+  if (cfg_.obs.trace) hmmc_->set_trace_sink(&sink);
+  if (cfg_.obs.epoch.enabled()) {
+    MetricRegistry registry;
+    hmmc_->register_metrics(registry);
+    sampler = std::make_unique<EpochSampler>(cfg_.obs.epoch,
+                                             std::move(registry));
+    hmmc_->set_epoch_sampler(sampler.get());
+  }
+
   const u64 warmup = static_cast<u64>(
       cfg_.warmup_ratio * static_cast<double>(instructions));
   const CoreResult cr =
       core.run(workload, cfg_.seed, instructions, *hmmc_, warmup);
+
+  if (sampler) sampler->finish();
+  hmmc_->set_epoch_sampler(nullptr);
+  hmmc_->set_trace_sink(nullptr);
 
   RunResult out;
   out.design = hmmc_->name();
@@ -60,10 +78,24 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
   const auto& ms = hmmc_->stats();
   out.hbm_serve_rate = ms.hbm_serve_rate();
   out.mean_latency_ns = ms.mean_latency_ns();
+  out.latency_p50_ns = ms.latency_ns.quantile(0.50);
+  out.latency_p90_ns = ms.latency_ns.quantile(0.90);
+  out.latency_p99_ns = ms.latency_ns.quantile(0.99);
+  out.latency_p999_ns = ms.latency_ns.quantile(0.999);
   out.mal_fraction = ms.mal_fraction();
   out.overfetch = ms.overfetch_fraction();
   out.page_faults = hmmc_->paging().stats().faults;
   out.metadata_sram_bytes = hmmc_->metadata_sram_bytes();
+
+  if (cfg_.obs.enabled()) {
+    auto art = std::make_shared<RunArtifacts>();
+    if (sampler) {
+      art->epoch_columns = sampler->registry().names();
+      art->epochs = sampler->rows();
+    }
+    art->events = sink.take();
+    out.artifacts = std::move(art);
+  }
   return out;
 }
 

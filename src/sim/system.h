@@ -14,6 +14,8 @@
 
 #include "baselines/factory.h"
 #include "bumblebee/config.h"
+#include "common/metrics.h"
+#include "common/trace_event.h"
 #include "hmm/controller.h"
 #include "mem/dram_device.h"
 #include "sim/core_model.h"
@@ -21,6 +23,19 @@
 #include "trace/workload.h"
 
 namespace bb::sim {
+
+/// Opt-in observability outputs for a run. Off by default: with neither
+/// epoch sampling nor tracing enabled a run does no extra work beyond one
+/// pointer test per request.
+struct ObservabilityConfig {
+  /// Epoch time-series sampling cadence (disabled while both fields are 0).
+  EpochConfig epoch;
+  /// Collect structured trace events (remap transitions, swaps, OS faults,
+  /// warmup boundary) into the run's artifacts.
+  bool trace = false;
+
+  bool enabled() const { return epoch.enabled() || trace; }
+};
 
 struct SystemConfig {
   mem::DramTimingParams hbm = mem::DramTimingParams::hbm2_1gb();
@@ -32,6 +47,17 @@ struct SystemConfig {
   /// are reset when warmup ends so results are steady-state (the paper
   /// simulates billions of instructions per SimPoint slice).
   double warmup_ratio = 1.0;
+  ObservabilityConfig obs;
+};
+
+/// Per-run observability payload (epoch rows + trace events), buffered in
+/// memory and attached to the RunResult so the experiment runner can
+/// serialize runs in matrix order — output files stay byte-identical
+/// across --jobs values. Absent (nullptr) when observability is off.
+struct RunArtifacts {
+  std::vector<std::string> epoch_columns;  ///< metric names, registry order
+  std::vector<EpochRow> epochs;
+  std::vector<TraceEvent> events;
 };
 
 /// Everything measured from one (design, workload) simulation.
@@ -48,6 +74,12 @@ struct RunResult {
   double energy_mj = 0;     ///< memory dynamic energy, millijoules
   double hbm_serve_rate = 0;
   double mean_latency_ns = 0;
+  // Per-request latency percentiles (ns), interpolated from the
+  // controller's latency histogram.
+  double latency_p50_ns = 0;
+  double latency_p90_ns = 0;
+  double latency_p99_ns = 0;
+  double latency_p999_ns = 0;
   double mal_fraction = 0;  ///< metadata share of request latency
   double overfetch = 0;     ///< unused fraction of fetched blocks
   u64 page_faults = 0;
@@ -56,6 +88,10 @@ struct RunResult {
   // Per-class traffic split (indexes follow mem::TrafficClass).
   std::array<u64, mem::kTrafficClassCount> hbm_class_bytes{};
   std::array<u64, mem::kTrafficClassCount> dram_class_bytes{};
+
+  /// Epoch rows + trace events when SystemConfig::obs enabled them
+  /// (shared_ptr keeps RunResult cheap to copy; nullptr otherwise).
+  std::shared_ptr<RunArtifacts> artifacts;
 };
 
 class System {

@@ -236,6 +236,21 @@ TEST_F(BaselineFixture, FactoryRejectsUnknown) {
   EXPECT_THROW(make_design("bogus", hbm_, dram_), std::invalid_argument);
 }
 
+TEST_F(BaselineFixture, AllDesignNamesConstructible) {
+  // The advertised name lists and the factory cannot drift apart: every
+  // listed name must construct, and the curated subsets must validate.
+  for (const auto& name : all_design_names()) {
+    auto d = make_design(name, hbm_, dram_);
+    ASSERT_NE(d, nullptr) << name;
+  }
+  EXPECT_NO_THROW(require_design_names(all_design_names()));
+  EXPECT_NO_THROW(require_design_names(comparison_designs()));
+  EXPECT_NO_THROW(require_design_names(figure8_designs()));
+  EXPECT_NO_THROW(require_design_names(figure7_designs()));
+  EXPECT_THROW(require_design_names({"Bumblebee", "bogus"}),
+               std::invalid_argument);
+}
+
 TEST_F(BaselineFixture, Figure8OrderMatchesPaper) {
   const auto& d = figure8_designs();
   ASSERT_EQ(d.size(), 6u);

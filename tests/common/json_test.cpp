@@ -1,0 +1,74 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace bb {
+namespace {
+
+TEST(JsonParse, ObjectWithScalars) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(
+      R"({"s":"hi","n":2.5,"i":-3,"t":true,"f":false,"z":null})", v));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_string("s"), "hi");
+  EXPECT_DOUBLE_EQ(v.get_number("n"), 2.5);
+  EXPECT_DOUBLE_EQ(v.get_number("i"), -3.0);
+  ASSERT_NE(v.find("t"), nullptr);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_TRUE(v.find("z")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_EQ(v.get_string("missing", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(v.get_number("s", 9.0), 9.0);  // type mismatch: fallback
+}
+
+TEST(JsonParse, NestedArraysAndObjects) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"a":[1,2,{"b":[3]}],"o":{"k":"v"}})", v));
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[2].find("b")->array[0].number, 3.0);
+  EXPECT_EQ(v.find("o")->get_string("k"), "v");
+}
+
+TEST(JsonParse, StringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse(R"({"s":"a\"b\\c\nA"})", v));
+  EXPECT_EQ(v.get_string("s"), "a\"b\\c\nA");
+}
+
+TEST(JsonParse, RoundTripsJsonDouble) {
+  const double val = 130.92317960000001;
+  JsonValue v;
+  ASSERT_TRUE(json_parse("{\"x\":" + json_double(val) + "}", v));
+  EXPECT_DOUBLE_EQ(v.get_number("x"), val);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse("", v, &err));
+  EXPECT_FALSE(json_parse("{", v));
+  EXPECT_FALSE(json_parse(R"({"a":})", v));
+  EXPECT_FALSE(json_parse(R"({"a":1,})", v));
+  EXPECT_FALSE(json_parse("[1,2", v));
+  EXPECT_FALSE(json_parse("\"unterminated", v));
+  EXPECT_FALSE(json_parse("nul", v));
+}
+
+TEST(JsonParse, RejectsTrailingGarbage) {
+  JsonValue v;
+  EXPECT_FALSE(json_parse("{} trailing", v));
+  EXPECT_FALSE(json_parse("1 2", v));
+}
+
+TEST(JsonParse, AcceptsSurroundingWhitespace) {
+  JsonValue v;
+  ASSERT_TRUE(json_parse("  { \"a\" : 1 }  ", v));
+  EXPECT_DOUBLE_EQ(v.get_number("a"), 1.0);
+}
+
+}  // namespace
+}  // namespace bb

@@ -80,6 +80,57 @@ TEST(Histogram, Reset) {
   EXPECT_EQ(h.bucket(0), 0u);
 }
 
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  Histogram none;
+  none.sample(5.0);
+  EXPECT_DOUBLE_EQ(none.quantile(0.5), 0.0);  // no finite bounds
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  // All mass in bucket [0, 10): linear interpolation across the bucket.
+  Histogram h({10.0});
+  h.sample(5.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileExactBucketBoundary) {
+  // 10 samples per bucket over [0,10), [10,20), [20,30).
+  Histogram h({10.0, 20.0, 30.0});
+  h.sample(5.0, 10);
+  h.sample(15.0, 10);
+  h.sample(25.0, 10);
+  // target lands (up to rounding) on a bucket edge.
+  EXPECT_NEAR(h.quantile(1.0 / 3.0), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 27.0);
+}
+
+TEST(Histogram, QuantileWeightedSamples) {
+  Histogram h({10.0, 20.0});
+  h.sample(5.0, 1);
+  h.sample(15.0, 99);
+  // p50 target = 50 of 100; 49 into the second bucket's 99 samples.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0 + 10.0 * 49.0 / 99.0);
+}
+
+TEST(Histogram, QuantileOverflowClampsToLastBound) {
+  Histogram h({10.0});
+  h.sample(100.0, 4);  // all mass in the overflow bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 10.0);
+}
+
+TEST(Histogram, QuantileClampsQ) {
+  Histogram h({10.0});
+  h.sample(5.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 10.0);
+}
+
 TEST(Geomean, Basics) {
   EXPECT_DOUBLE_EQ(geomean({}), 0.0);
   EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
