@@ -5,10 +5,13 @@
 //   ./bbsim --designs=all --workloads=all --misses=50000 --csv
 //   ./bbsim --designs=DRAM-only,Bumblebee --workloads=mcf \
 //           --epoch-csv=epochs.csv --trace=run.json --trace-format=chrome
+//   ./bbsim --designs=Bumblebee --mix=mixed-locality4,mcf+lbm --csv
 //
 // Design names follow the factory (README); "all" expands to
 // baselines::comparison_designs() — the Figure 8 set plus the
-// PoM/SILC-FM/MemPod extensions.
+// PoM/SILC-FM/MemPod extensions. --mix switches to multi-programmed
+// co-runs: each comma-separated entry is a preset name (--list-mixes) or
+// '+'-joined workload names, one per core.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,12 +52,32 @@ int main(int argc, char** argv) {
         "              [--trace=FILE]  (structured event trace)\n"
         "              [--trace-format=jsonl|chrome]  (default jsonl)\n"
         "              [--resume=FILE]  (checkpoint journal: finished cells\n"
-        "               are restored from FILE, new cells appended to it)\n";
+        "               are restored from FILE, new cells appended to it;\n"
+        "               not supported with --mix)\n"
+        "              [--mix=SPEC,...]  (multi-programmed co-runs: each\n"
+        "               SPEC is a preset name or w1+w2+... per-core list)\n"
+        "              [--instructions=N]  (fixed budget: per cell, or per\n"
+        "               core with --mix; overrides --misses)\n"
+        "              [--list-workloads] [--list-mixes]\n";
     std::cout << "designs:";
     for (const auto& name : baselines::all_design_names()) {
       std::cout << ' ' << name;
     }
     std::cout << " | all\nworkloads: Table II names | all\n";
+    return 0;
+  }
+  if (flags.has("list-workloads")) {
+    for (const auto& name : trace::workload_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (flags.has("list-mixes")) {
+    for (const auto& m : sim::MixSpec::presets()) {
+      std::cout << m.name << ":";
+      for (const auto& w : m.workloads) std::cout << ' ' << w;
+      std::cout << "\n";
+    }
     return 0;
   }
 
@@ -75,8 +98,28 @@ int main(int argc, char** argv) {
   if (wl == "all") {
     workloads = trace::WorkloadProfile::spec2017();
   } else {
-    for (const auto& name : split_csv(wl)) {
+    const std::vector<std::string> names = split_csv(wl);
+    try {
+      trace::require_workload_names(names);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bbsim: " << e.what() << "\n";
+      return 1;
+    }
+    for (const auto& name : names) {
       workloads.push_back(trace::WorkloadProfile::by_name(name));
+    }
+  }
+
+  std::vector<sim::MixSpec> mixes;
+  const std::string mix_arg = flags.get_string("mix", "");
+  if (!mix_arg.empty()) {
+    try {
+      for (const auto& spec : split_csv(mix_arg)) {
+        mixes.push_back(sim::MixSpec::parse(spec));
+      }
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bbsim: " << e.what() << "\n";
+      return 1;
     }
   }
 
@@ -104,11 +147,17 @@ int main(int argc, char** argv) {
   sim::RunMatrixOptions opts;
   opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
   opts.target_misses = flags.get_u64("misses", 100'000);
+  opts.instructions = flags.get_u64("instructions", 0);
 
   // Checkpoint/resume: restore finished cells from the journal, append
   // newly finished cells to it (crash-safe: one line per cell, malformed
   // trailing lines are skipped on load).
   const std::string resume_file = flags.get_string("resume", "");
+  if (!mixes.empty() && !resume_file.empty()) {
+    std::cerr << "bbsim: --resume is not supported with --mix (alone-run "
+                 "baselines are not journaled)\n";
+    return 1;
+  }
   sim::ResultJournal journal;
   std::ofstream journal_out;
   if (!resume_file.empty()) {
@@ -131,7 +180,11 @@ int main(int argc, char** argv) {
       journal_out << sim::ResultJournal::line(r) << "\n" << std::flush;
     }
   };
-  runner.run_matrix(designs, workloads, opts);
+  if (!mixes.empty()) {
+    runner.run_mix_matrix(designs, mixes, opts);
+  } else {
+    runner.run_matrix(designs, workloads, opts);
+  }
 
   if (!epoch_csv.empty()) {
     std::ofstream out(epoch_csv);
@@ -154,11 +207,38 @@ int main(int argc, char** argv) {
   }
 
   if (flags.has("csv")) {
-    runner.write_csv(std::cout);
+    if (!mixes.empty()) {
+      runner.write_mix_csv(std::cout);
+    } else {
+      runner.write_csv(std::cout);
+    }
     return 0;
   }
   if (flags.has("json")) {
-    runner.write_json(std::cout);
+    if (!mixes.empty()) {
+      runner.write_mix_json(std::cout);
+    } else {
+      runner.write_json(std::cout);
+    }
+    return 0;
+  }
+
+  if (!mixes.empty()) {
+    TextTable table({"mix", "design", "core", "workload", "IPC", "alone",
+                     "speedup", "HBM serve", "WS", "hmean", "max SD"});
+    for (const auto& r : runner.mix_results()) {
+      for (const auto& c : r.cores) {
+        table.add_row({r.mix, r.design, std::to_string(c.perf.core),
+                       c.perf.workload, fmt_double(c.perf.ipc, 2),
+                       fmt_double(c.alone_ipc, 2),
+                       fmt_double(c.speedup, 2) + "x",
+                       fmt_percent(c.perf.hbm_serve_rate),
+                       fmt_double(r.weighted_speedup, 2),
+                       fmt_double(r.hmean_speedup, 2),
+                       fmt_double(r.max_slowdown, 2)});
+      }
+    }
+    table.print(std::cout);
     return 0;
   }
 

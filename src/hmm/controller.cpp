@@ -23,7 +23,21 @@ HybridMemoryController::HybridMemoryController(std::string name,
     : name_(std::move(name)), hbm_(hbm), dram_(dram), paging_(paging) {}
 
 HmmResult HybridMemoryController::access(Addr addr, AccessType type,
-                                         Tick now) {
+                                         Tick now, u32 core_id) {
+  // Per-core byte attribution works by device-counter snapshot: whatever
+  // both devices move while service() runs — demand beats plus any fills,
+  // writebacks or migrations the design triggers from this request — is
+  // charged to the requesting core.
+  const bool per_core = !core_stats_.empty();
+  std::array<u64, mem::kTrafficClassCount> hbm_rd{}, hbm_wr{}, dram_rd{},
+      dram_wr{};
+  if (per_core) {
+    hbm_rd = hbm_.stats().read_bytes;
+    hbm_wr = hbm_.stats().write_bytes;
+    dram_rd = dram_.stats().read_bytes;
+    dram_wr = dram_.stats().write_bytes;
+  }
+
   const Tick fault = paging_.touch(addr, now);
   HmmResult res = service(addr, type, now + fault);
   res.fault_penalty = fault;
@@ -39,8 +53,28 @@ HmmResult HybridMemoryController::access(Addr addr, AccessType type,
   stats_.total_latency += res.complete - now;
   stats_.total_metadata_latency += res.metadata_latency;
   stats_.latency_ns.sample(ticks_to_ns(res.complete - now));
+
+  if (per_core) {
+    const std::size_t c =
+        std::min<std::size_t>(core_id, core_stats_.size() - 1);
+    CoreStats& cs = core_stats_[c];
+    ++cs.requests;
+    if (res.served_by_hbm) ++cs.hbm_served;
+    cs.total_latency += res.complete - now;
+    cs.latency_ns.sample(ticks_to_ns(res.complete - now));
+    for (std::size_t k = 0; k < mem::kTrafficClassCount; ++k) {
+      cs.hbm_class_bytes[k] += (hbm_.stats().read_bytes[k] - hbm_rd[k]) +
+                               (hbm_.stats().write_bytes[k] - hbm_wr[k]);
+      cs.dram_class_bytes[k] += (dram_.stats().read_bytes[k] - dram_rd[k]) +
+                                (dram_.stats().write_bytes[k] - dram_wr[k]);
+    }
+  }
   if (sampler_) sampler_->on_request(now);
   return res;
+}
+
+void HybridMemoryController::set_core_count(u32 cores) {
+  core_stats_.assign(cores, CoreStats{});
 }
 
 void HybridMemoryController::set_trace_sink(TraceSink* sink) {
@@ -66,6 +100,23 @@ void HybridMemoryController::register_metrics(MetricRegistry& reg) const {
   reg.add_counter("page_faults", [pg] {
     return static_cast<double>(pg->stats().faults);
   });
+  // Per-core attribution probes (co-run evaluation); registered only when a
+  // multi-core table was sized, so single-core epoch CSVs keep their
+  // column set. Probes index through the member vector each call — its
+  // elements never move after set_core_count.
+  if (core_stats_.size() > 1) {
+    const std::vector<CoreStats>* cs = &core_stats_;
+    for (std::size_t i = 0; i < core_stats_.size(); ++i) {
+      const std::string p = "core" + std::to_string(i) + "_";
+      reg.add_counter(p + "requests", [cs, i] {
+        return static_cast<double>((*cs)[i].requests);
+      });
+      reg.add_ratio(
+          p + "hbm_serve_rate",
+          [cs, i] { return static_cast<double>((*cs)[i].hbm_served); },
+          [cs, i] { return static_cast<double>((*cs)[i].requests); });
+    }
+  }
 }
 
 void HybridMemoryController::on_warmup_end(Tick now) {

@@ -16,6 +16,7 @@
 // into the off-chip range (their paging model then charges faults).
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -105,6 +106,45 @@ struct HmmStats {
   }
 };
 
+/// Per-core attribution slice of the controller statistics, maintained when
+/// set_core_count() has sized the table and requests arrive with a core id
+/// (multi-programmed co-run evaluation). Device bytes are attributed by
+/// causation: everything both DRAM devices move while serving one request —
+/// the demand access plus any fills/migrations the design triggered
+/// synchronously from it — is charged to that request's core. Asynchronous
+/// end-of-run drain() traffic has no causing core, so per-core byte sums are
+/// <= the device totals; request/latency/serve counters sum exactly.
+struct CoreStats {
+  u64 requests = 0;
+  u64 hbm_served = 0;
+  Tick total_latency = 0;
+  /// Per-request latency distribution (same buckets as the aggregate).
+  Histogram latency_ns{HmmStats::latency_bounds_ns()};
+  std::array<u64, mem::kTrafficClassCount> hbm_class_bytes{};
+  std::array<u64, mem::kTrafficClassCount> dram_class_bytes{};
+
+  u64 hbm_bytes() const {
+    u64 s = 0;
+    for (u64 b : hbm_class_bytes) s += b;
+    return s;
+  }
+  u64 dram_bytes() const {
+    u64 s = 0;
+    for (u64 b : dram_class_bytes) s += b;
+    return s;
+  }
+  double hbm_serve_rate() const {
+    return requests ? static_cast<double>(hbm_served) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  double mean_latency_ns() const {
+    return requests ? ticks_to_ns(total_latency) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+};
+
 class HybridMemoryController {
  public:
   HybridMemoryController(std::string name, mem::DramDevice& hbm,
@@ -115,8 +155,18 @@ class HybridMemoryController {
   HybridMemoryController& operator=(const HybridMemoryController&) = delete;
 
   /// Handles one LLC-miss request. Applies the paging model, dispatches to
-  /// the design's service() and accounts the result.
-  HmmResult access(Addr addr, AccessType type, Tick now);
+  /// the design's service() and accounts the result. `core_id` attributes
+  /// the request (and all device traffic it causes) to one core's
+  /// CoreStats slice when per-core tracking is enabled via
+  /// set_core_count(); ids at or past the configured count fold into the
+  /// last slice so a mis-sized caller cannot write out of bounds.
+  HmmResult access(Addr addr, AccessType type, Tick now, u32 core_id = 0);
+
+  /// Sizes the per-core attribution table (0 disables per-core tracking —
+  /// the default, so direct controller users pay nothing). Call before
+  /// register_metrics so per-core probes are registered.
+  void set_core_count(u32 cores);
+  const std::vector<CoreStats>& core_stats() const { return core_stats_; }
 
   /// Flushes any design-internal buffered state (end of simulation).
   virtual void drain(Tick now) { (void)now; }
@@ -152,8 +202,12 @@ class HybridMemoryController {
   const HmmStats& stats() const { return stats_; }
 
   /// Clears accumulated statistics (not design state) — used to exclude
-  /// warmup from measurements.
-  virtual void reset_stats() { stats_ = HmmStats{}; }
+  /// warmup from measurements. Per-core slices reset in place so their
+  /// count (and any registered per-core metric probes) survives.
+  virtual void reset_stats() {
+    stats_ = HmmStats{};
+    for (auto& cs : core_stats_) cs = CoreStats{};
+  }
   const PagingModel& paging() const { return paging_; }
   mem::DramDevice& hbm() { return hbm_; }
   mem::DramDevice& dram() { return dram_; }
@@ -188,6 +242,7 @@ class HybridMemoryController {
   mem::DramDevice& dram_;
   PagingModel paging_;
   HmmStats stats_;
+  std::vector<CoreStats> core_stats_;  ///< empty unless set_core_count
   std::function<void(const MoveEvent&)> movement_hook_;
   TraceSink* trace_ = nullptr;
   EpochSampler* sampler_ = nullptr;

@@ -19,23 +19,47 @@ namespace {
 /// Per-core replay state: its own trace stream, clock, and ROB.
 struct CoreState {
   std::unique_ptr<trace::TraceGenerator> gen;
+  Addr base = 0;
   Tick now = 0;
   u64 inst = 0;
+  u64 misses = 0;          ///< misses since the warmup reset
+  u64 inst_at_reset = 0;   ///< instruction count at the warmup reset
   std::deque<std::pair<u64, Tick>> rob;  ///< (inst at issue, completion)
 };
 
 }  // namespace
 
+std::vector<CoreLane> CoreModel::homogeneous_lanes(
+    const trace::WorkloadProfile& profile, u64 seed, u32 cores) {
+  std::vector<CoreLane> lanes;
+  const u32 n = std::max<u32>(1, cores);
+  lanes.reserve(n);
+  for (u32 c = 0; c < n; ++c) {
+    lanes.push_back({profile, seed + 0x1000003ULL * c, /*base=*/0});
+  }
+  return lanes;
+}
+
 CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
                           u64 target_instructions,
                           hmm::HybridMemoryController& hmmc,
                           u64 warmup_instructions) {
+  return run_lanes(homogeneous_lanes(profile, seed, params_.cores),
+                   target_instructions, hmmc, warmup_instructions);
+}
+
+CoreResult CoreModel::run_lanes(const std::vector<CoreLane>& lanes,
+                                u64 target_instructions,
+                                hmm::HybridMemoryController& hmmc,
+                                u64 warmup_instructions) {
   CoreResult res;
-  const u32 n = std::max<u32>(1, params_.cores);
+  const u32 n = static_cast<u32>(std::max<std::size_t>(1, lanes.size()));
   std::vector<CoreState> cores(n);
   for (u32 c = 0; c < n; ++c) {
-    cores[c].gen = std::make_unique<trace::TraceGenerator>(
-        profile, seed + 0x1000003ULL * c);
+    const CoreLane& lane = lanes[std::min<std::size_t>(c, lanes.size() - 1)];
+    cores[c].gen =
+        std::make_unique<trace::TraceGenerator>(lane.profile, lane.seed);
+    cores[c].base = lane.base;
   }
 
   u64 total_inst = 0;
@@ -53,8 +77,10 @@ CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
     if (!warm && total_inst >= warmup_instructions) {
       warm = true;
       inst_at_reset = total_inst;
-      for (const auto& core : cores) {
+      for (auto& core : cores) {
         tick_at_reset = std::max(tick_at_reset, core.now);
+        core.inst_at_reset = core.inst;
+        core.misses = 0;
       }
       hmmc.reset_stats();
       hmmc.hbm().reset_stats();
@@ -99,9 +125,10 @@ CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
     }
 
     const Tick issue = core.now + params_.hierarchy_latency;
-    const auto r = hmmc.access(rec.addr, rec.type, issue);
+    const auto r = hmmc.access(core.base + rec.addr, rec.type, issue, next);
     core.rob.push_back({core.inst, r.complete});
     ++measured_misses;
+    ++core.misses;
   }
 
   Tick end = 0;
@@ -114,6 +141,13 @@ CoreResult CoreModel::run(const trace::WorkloadProfile& profile, u64 seed,
   res.instructions = total_inst - inst_at_reset;
   res.misses = measured_misses;
   res.elapsed = end - tick_at_reset;
+  res.per_core.resize(n);
+  for (u32 c = 0; c < n; ++c) {
+    res.per_core[c].instructions = cores[c].inst - cores[c].inst_at_reset;
+    res.per_core[c].misses = cores[c].misses;
+    res.per_core[c].elapsed =
+        cores[c].now > tick_at_reset ? cores[c].now - tick_at_reset : 0;
+  }
   return res;
 }
 

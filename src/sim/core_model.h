@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <vector>
 
 #include "common/types.h"
 #include "hmm/controller.h"
@@ -29,15 +30,41 @@ struct CoreParams {
   Tick hierarchy_latency = ns_to_ticks(15.0);  ///< L1+L2+L3 lookup on a miss
 };
 
+/// One core's workload assignment in a (possibly heterogeneous) co-run.
+struct CoreLane {
+  trace::WorkloadProfile profile;
+  u64 seed = 0;   ///< this lane's generator seed
+  /// Address-space offset added to every generated address. Disjoint bases
+  /// give each lane its own process footprint (multi-programmed mixes);
+  /// base 0 everywhere shares one address space (the homogeneous model).
+  Addr base = 0;
+};
+
 struct CoreResult {
   u64 instructions = 0;  ///< total across all cores
   u64 misses = 0;
   Tick elapsed = 0;      ///< slowest core's finish time
 
+  /// Per-core breakdown (lane order), measured over the same window.
+  struct PerCore {
+    u64 instructions = 0;
+    u64 misses = 0;
+    Tick elapsed = 0;  ///< this core's own finish time
+
+    double ipc(double freq_ghz) const {
+      const double c = ticks_to_s(elapsed) * freq_ghz * 1e9;
+      return c > 0 ? static_cast<double>(instructions) / c : 0.0;
+    }
+  };
+  std::vector<PerCore> per_core;  ///< filled by the lane-based runs
+
   double cycles(double freq_ghz) const {
     return ticks_to_s(elapsed) * freq_ghz * 1e9;
   }
-  /// Per-core IPC (total instructions / cores / elapsed cycles).
+  /// Aggregate IPC: total instructions across all cores divided by the
+  /// elapsed cycles of the slowest core (the definition the comparison
+  /// figures use; per-core IPC lives in PerCore::ipc). Pinned by
+  /// CoreModelTest.IpcIsAggregateInstructionsOverElapsedCycles.
   double ipc(double freq_ghz) const {
     const double c = cycles(freq_ghz);
     return c > 0 ? static_cast<double>(instructions) / c : 0.0;
@@ -61,6 +88,22 @@ class CoreModel {
   CoreResult run(const trace::WorkloadProfile& profile, u64 seed,
                  u64 target_instructions, hmm::HybridMemoryController& hmmc,
                  u64 warmup_instructions = 0);
+
+  /// Heterogeneous co-run: one lane (profile + seed + address base) per
+  /// core, advanced in simulated-time order against the shared memory
+  /// system until the lanes together retire `target_instructions`. Each
+  /// request carries its lane index as the controller core id, so the
+  /// memory system attributes misses, latency and bytes per core. The
+  /// homogeneous run() above is exactly this with homogeneous_lanes().
+  CoreResult run_lanes(const std::vector<CoreLane>& lanes,
+                       u64 target_instructions,
+                       hmm::HybridMemoryController& hmmc,
+                       u64 warmup_instructions = 0);
+
+  /// The lane set the homogeneous run() replays: `cores` copies of one
+  /// profile with distinct derived seeds, all sharing address base 0.
+  static std::vector<CoreLane> homogeneous_lanes(
+      const trace::WorkloadProfile& profile, u64 seed, u32 cores);
 
   /// Single-stream convenience (cores = 1 behaviour) used by unit tests.
   CoreResult run(trace::TraceGenerator& gen, u64 target_instructions,

@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <stdexcept>
 
 #include "common/json.h"
 #include "common/table.h"
@@ -271,6 +272,207 @@ void ExperimentRunner::run_cells(
       ++committed;
     }
   });
+}
+
+void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
+                                      const std::vector<MixSpec>& mixes,
+                                      const RunMatrixOptions& opts) {
+  if (opts.resume) {
+    throw std::invalid_argument(
+        "mix matrices do not support checkpoint resume");
+  }
+  if (designs.empty() || mixes.empty()) return;
+
+  // Every workload named by any mix, in first-seen order.
+  std::vector<std::string> uniq;
+  for (const auto& m : mixes) {
+    for (const auto& w : m.workloads) {
+      if (std::find(uniq.begin(), uniq.end(), w) == uniq.end()) {
+        uniq.push_back(w);
+      }
+    }
+  }
+
+  // One shared per-core budget for the alone and co-run phases, so every
+  // speedup compares equal-length slices of the same instruction stream.
+  u64 budget = opts.instructions;
+  if (!budget) {
+    for (const auto& w : uniq) {
+      budget = std::max(
+          budget, default_instructions_for(
+                      trace::WorkloadProfile::by_name(w), opts.target_misses,
+                      opts.min_instructions, opts.max_instructions));
+    }
+  }
+
+  // Phase 1: alone baselines — one core, observability off (baselines feed
+  // only the speedup denominators; their artifacts are never exported).
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& d : designs) {
+    for (const auto& w : uniq) {
+      if (!alone_ipc_.count({d, w})) pairs.emplace_back(d, w);
+    }
+  }
+  SystemConfig alone_cfg = cfg_;
+  alone_cfg.core.cores = 1;
+  alone_cfg.obs = ObservabilityConfig{};
+
+  unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::default_concurrency();
+  const unsigned alone_jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, pairs.size()));
+  std::vector<double> alone(pairs.size(), 0);
+  if (alone_jobs <= 1) {
+    System system(alone_cfg);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      alone[i] = system
+                     .run(pairs[i].first,
+                          trace::WorkloadProfile::by_name(pairs[i].second),
+                          budget)
+                     .ipc;
+      if (opts.progress) {
+        std::fprintf(stderr, "[mix] alone %zu/%zu baselines\n", i + 1,
+                     pairs.size());
+      }
+    }
+  } else if (!pairs.empty()) {
+    std::vector<std::unique_ptr<System>> systems;
+    for (unsigned j = 0; j < alone_jobs; ++j) {
+      systems.push_back(std::make_unique<System>(alone_cfg));
+    }
+    std::mutex mu;
+    std::size_t done = 0;
+    ThreadPool pool(alone_jobs);
+    pool.parallel_for(pairs.size(), [&](std::size_t i, unsigned worker) {
+      const double ipc =
+          systems[worker]
+              ->run(pairs[i].first,
+                    trace::WorkloadProfile::by_name(pairs[i].second), budget)
+              .ipc;
+      std::lock_guard<std::mutex> lk(mu);
+      alone[i] = ipc;
+      if (opts.progress) {
+        std::fprintf(stderr, "[mix] alone %zu/%zu baselines\n", ++done,
+                     pairs.size());
+      }
+    });
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    alone_ipc_[pairs[i]] = alone[i];
+  }
+
+  // Phase 2: co-runs — mix-major, design-minor cells committed through
+  // indexed slots in matrix order (same discipline as run_cells), so
+  // mix_results_ / results_ and every writer are --jobs independent.
+  const std::size_t total = mixes.size() * designs.size();
+  const unsigned mix_jobs = static_cast<unsigned>(
+      std::min<std::size_t>(jobs, total));
+  auto commit = [&](MixResult&& r) {
+    if (opts.on_result) opts.on_result(r.aggregate);
+    results_.push_back(r.aggregate);
+    mix_results_.push_back(std::move(r));
+  };
+
+  if (mix_jobs <= 1) {
+    System system(cfg_);
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      for (std::size_t d = 0; d < designs.size(); ++d) {
+        commit(run_mix_cell(system, designs[d], mixes[m], budget,
+                            alone_ipc_));
+        if (opts.progress) {
+          std::fprintf(stderr, "[mix] %zu/%zu co-runs\n",
+                       m * designs.size() + d + 1, total);
+        }
+      }
+    }
+    return;
+  }
+
+  std::vector<std::unique_ptr<System>> systems;
+  for (unsigned j = 0; j < mix_jobs; ++j) {
+    systems.push_back(std::make_unique<System>(cfg_));
+  }
+  std::vector<MixResult> slots(total);
+  std::vector<char> ready(total, 0);
+  std::mutex mu;
+  std::size_t committed = 0;
+  std::size_t completed = 0;
+  ThreadPool pool(mix_jobs);
+  pool.parallel_for(total, [&](std::size_t i, unsigned worker) {
+    const std::size_t m = i / designs.size();
+    const std::size_t d = i % designs.size();
+    MixResult r =
+        run_mix_cell(*systems[worker], designs[d], mixes[m], budget,
+                     alone_ipc_);
+    std::lock_guard<std::mutex> lk(mu);
+    slots[i] = std::move(r);
+    ready[i] = 1;
+    if (opts.progress) {
+      std::fprintf(stderr, "[mix] %zu/%zu co-runs\n", ++completed, total);
+    }
+    while (committed < total && ready[committed]) {
+      commit(std::move(slots[committed]));
+      ++committed;
+    }
+  });
+}
+
+void ExperimentRunner::write_mix_csv(std::ostream& os) const {
+  TextTable t({"design", "mix", "core", "workload", "instructions", "misses",
+               "ipc", "alone_ipc", "speedup", "hbm_serve_rate",
+               "mean_latency_ns", "latency_p50_ns", "latency_p99_ns",
+               "hbm_bytes", "dram_bytes", "weighted_speedup",
+               "hmean_speedup", "max_slowdown"});
+  for (const auto& r : mix_results_) {
+    for (const auto& c : r.cores) {
+      t.add_row({r.design, r.mix, std::to_string(c.perf.core),
+                 c.perf.workload, std::to_string(c.perf.instructions),
+                 std::to_string(c.perf.misses), fmt_double(c.perf.ipc, 4),
+                 fmt_double(c.alone_ipc, 4), fmt_double(c.speedup, 4),
+                 fmt_double(c.perf.hbm_serve_rate, 4),
+                 fmt_double(c.perf.mean_latency_ns, 2),
+                 fmt_double(c.perf.latency_p50_ns, 2),
+                 fmt_double(c.perf.latency_p99_ns, 2),
+                 std::to_string(c.perf.hbm_bytes),
+                 std::to_string(c.perf.dram_bytes),
+                 fmt_double(r.weighted_speedup, 4),
+                 fmt_double(r.hmean_speedup, 4),
+                 fmt_double(r.max_slowdown, 4)});
+    }
+  }
+  t.print_csv(os);
+}
+
+void ExperimentRunner::write_mix_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t i = 0; i < mix_results_.size(); ++i) {
+    const MixResult& r = mix_results_[i];
+    os << "  {\"design\":\"" << json_escape(r.design) << "\",\"mix\":\""
+       << json_escape(r.mix)
+       << "\",\"weighted_speedup\":" << json_double(r.weighted_speedup)
+       << ",\"hmean_speedup\":" << json_double(r.hmean_speedup)
+       << ",\"max_slowdown\":" << json_double(r.max_slowdown)
+       << ",\"aggregate\":" << result_to_json(r.aggregate)
+       << ",\"cores\":[";
+    for (std::size_t c = 0; c < r.cores.size(); ++c) {
+      const MixCoreResult& core = r.cores[c];
+      if (c) os << ',';
+      os << "{\"core\":" << core.perf.core << ",\"workload\":\""
+         << json_escape(core.perf.workload)
+         << "\",\"instructions\":" << core.perf.instructions
+         << ",\"misses\":" << core.perf.misses
+         << ",\"ipc\":" << json_double(core.perf.ipc)
+         << ",\"alone_ipc\":" << json_double(core.alone_ipc)
+         << ",\"speedup\":" << json_double(core.speedup)
+         << ",\"hbm_serve_rate\":" << json_double(core.perf.hbm_serve_rate)
+         << ",\"mean_latency_ns\":" << json_double(core.perf.mean_latency_ns)
+         << ",\"latency_p50_ns\":" << json_double(core.perf.latency_p50_ns)
+         << ",\"latency_p99_ns\":" << json_double(core.perf.latency_p99_ns)
+         << ",\"hbm_bytes\":" << core.perf.hbm_bytes
+         << ",\"dram_bytes\":" << core.perf.dram_bytes << '}';
+    }
+    os << "]}" << (i + 1 < mix_results_.size() ? "," : "") << '\n';
+  }
+  os << "]\n";
 }
 
 std::vector<RunResult> ExperimentRunner::for_design(

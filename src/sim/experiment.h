@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bumblebee/config.h"
+#include "sim/mix.h"
 #include "sim/system.h"
 
 namespace bb::sim {
@@ -94,6 +95,40 @@ class ExperimentRunner {
       const std::vector<trace::WorkloadProfile>& workloads,
       const RunMatrixOptions& opts);
 
+  /// Multi-programmed mix matrix (see sim/mix.h). Two phases, both run on
+  /// the worker pool with matrix-order commits so every output is
+  /// byte-identical across --jobs values:
+  ///   1. Alone baselines: each unique (design, workload) pair across the
+  ///      mixes runs on one core with observability off, caching its IPC
+  ///      in alone_ipc() (simulated once even if many mixes share it).
+  ///   2. Co-runs: every (design, mix) cell via run_mix_cell. MixResults
+  ///      append to mix_results(); each cell's aggregate RunResult also
+  ///      appends to results(), so write_csv / write_json /
+  ///      write_epoch_csv / write_trace cover mix runs unchanged.
+  /// opts.instructions is the per-core budget; 0 derives one shared budget
+  /// as the max default_instructions_for over every workload named by the
+  /// mixes. opts.on_result fires per committed co-run aggregate.
+  /// Checkpoint resume is not supported for mixes (opts.resume must be
+  /// null; throws std::invalid_argument otherwise).
+  void run_mix_matrix(const std::vector<std::string>& designs,
+                      const std::vector<MixSpec>& mixes,
+                      const RunMatrixOptions& opts);
+
+  const std::vector<MixResult>& mix_results() const { return mix_results_; }
+
+  /// Alone-run IPC baselines accumulated by run_mix_matrix.
+  const AloneIpcMap& alone_ipc() const { return alone_ipc_; }
+
+  /// Writes one CSV row per (design, mix, core): the core's shared-run
+  /// numbers, its alone-run baseline and speedup, plus the mix-level
+  /// weighted/hmean speedup and max slowdown repeated on every row of the
+  /// cell (keeps the file flat and greppable).
+  void write_mix_csv(std::ostream& os) const;
+
+  /// Writes mix_results() as a JSON array: mix-level scores, the full
+  /// aggregate RunResult and the per-core breakdown.
+  void write_mix_json(std::ostream& os) const;
+
   /// Adds a single externally produced result.
   void add(const RunResult& r) { results_.push_back(r); }
 
@@ -145,6 +180,8 @@ class ExperimentRunner {
 
   SystemConfig cfg_;
   std::vector<RunResult> results_;
+  std::vector<MixResult> mix_results_;
+  AloneIpcMap alone_ipc_;
 };
 
 }  // namespace bb::sim

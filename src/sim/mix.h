@@ -1,0 +1,96 @@
+// Multi-programmed workload mixes: heterogeneous co-run specification,
+// per-core speedup accounting against alone-run baselines, and the
+// weighted-speedup / fairness metrics the multi-core evaluation reports.
+//
+// A MixSpec names one workload per core ("mcf+lbm+bwaves+wrf"). Running it
+// through System::run_mix gives every core its own trace generator, seed
+// and — for heterogeneous mixes — a disjoint address-space slice, so the
+// cores genuinely contend for HBM capacity and bandwidth the way the
+// paper's 8-core experiments do. MixResult then scores the co-run against
+// cached alone-run IPCs:
+//   * weighted speedup  = sum_i IPC_shared_i / IPC_alone_i
+//   * hmean speedup     = n / sum_i (IPC_alone_i / IPC_shared_i)
+//   * max slowdown      = max_i IPC_alone_i / IPC_shared_i  (fairness)
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/system.h"
+#include "trace/workload.h"
+
+namespace bb::sim {
+
+/// One multi-programmed mix: an ordered list of per-core workload names.
+struct MixSpec {
+  std::string name;                    ///< preset name or the spec string
+  std::vector<std::string> workloads;  ///< one entry per core, Table II names
+
+  /// Parses a mix specification. A preset name ("cachey4") resolves to the
+  /// preset; anything else is split on '+' ("mcf+lbm") and every component
+  /// is validated via trace::require_workload_names, so a typo fails before
+  /// any simulation starts. Throws std::invalid_argument on bad input.
+  static MixSpec parse(const std::string& spec);
+
+  /// Named preset mixes for the contended-mix study: cache-friendly cores
+  /// (cachey4), capacity-hungry streamers (capacity4), the contended blend
+  /// of both (mixed-locality4) and a two-core smoke mix (cachecap2).
+  static const std::vector<MixSpec>& presets();
+
+  /// Per-core profiles, in lane order.
+  std::vector<trace::WorkloadProfile> resolve() const;
+
+  /// Builds one CoreLane per workload. Lane seeds follow the same
+  /// derivation as CoreModel::homogeneous_lanes, so a homogeneous mix
+  /// ("mcf+mcf") replays exactly the streams of a multi-core single-profile
+  /// run. Heterogeneous mixes get disjoint 64 KiB-aligned address bases so
+  /// the cores' footprints sum — the OS paging model then sees the combined
+  /// working set and applies pressure once it exceeds visible capacity.
+  std::vector<CoreLane> lanes(u64 seed) const;
+
+  /// True when every core runs the same workload (lanes then share address
+  /// base 0, the single-profile convention).
+  bool homogeneous() const;
+
+  /// Sum of the per-core footprints (what the OS must back).
+  u64 total_footprint_bytes() const;
+
+  u32 cores() const { return static_cast<u32>(workloads.size()); }
+};
+
+/// Preset names in presets() order (what drivers print for --list-mixes).
+std::vector<std::string> mix_names();
+
+/// Cached alone-run baselines: (design, workload) -> IPC of the workload
+/// running alone (one core) under that design. Shared across every mix in
+/// a matrix so each baseline is simulated once.
+using AloneIpcMap = std::map<std::pair<std::string, std::string>, double>;
+
+/// One core's slice of a mix run, scored against its alone-run baseline.
+struct MixCoreResult {
+  CorePerf perf;
+  double alone_ipc = 0;  ///< IPC running alone (same design, one core)
+  double speedup = 0;    ///< IPC_shared / IPC_alone (< 1 under contention)
+};
+
+/// Everything measured from one (design, mix) co-run cell.
+struct MixResult {
+  std::string design;
+  std::string mix;
+  RunResult aggregate;  ///< workload = mix name; core_perf attached
+  std::vector<MixCoreResult> cores;
+  double weighted_speedup = 0;
+  double hmean_speedup = 0;
+  double max_slowdown = 0;
+};
+
+/// Runs one (design, mix) cell on `system` and scores it against `alone`.
+/// Cores whose (design, workload) baseline is missing from `alone` get
+/// alone_ipc = speedup = 0 and are excluded from the harmonic mean.
+MixResult run_mix_cell(System& system, const std::string& design,
+                       const MixSpec& mix, u64 per_core_instructions,
+                       const AloneIpcMap& alone);
+
+}  // namespace bb::sim

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "bumblebee/controller.h"
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace bb::sim {
@@ -30,10 +31,31 @@ RunResult System::run_bumblebee(const bumblebee::BumblebeeConfig& cfg,
   return run_current(workload, instructions);
 }
 
+RunResult System::run_mix(const std::string& design,
+                          const std::vector<CoreLane>& lanes,
+                          const std::string& mix_name,
+                          u64 per_core_instructions) {
+  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
+  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  hmmc_ = baselines::make_design(design, *hbm_, *dram_, cfg_.paging);
+  return run_lanes_current(
+      lanes, per_core_instructions * std::max<u64>(1, lanes.size()),
+      mix_name, /*attach_core_perf=*/true);
+}
+
 RunResult System::run_current(const trace::WorkloadProfile& workload,
                               u64 instructions) {
+  return run_lanes_current(
+      CoreModel::homogeneous_lanes(workload, cfg_.seed, cfg_.core.cores),
+      instructions, workload.name, /*attach_core_perf=*/false);
+}
 
+RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
+                                    u64 total_instructions,
+                                    const std::string& workload_name,
+                                    bool attach_core_perf) {
   CoreModel core(cfg_.core);
+  hmmc_->set_core_count(static_cast<u32>(lanes.size()));
 
   // Observability attachments (all per-run and buffered in memory, so the
   // run itself stays deterministic and jobs-independent).
@@ -49,9 +71,9 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
   }
 
   const u64 warmup = static_cast<u64>(
-      cfg_.warmup_ratio * static_cast<double>(instructions));
+      cfg_.warmup_ratio * static_cast<double>(total_instructions));
   const CoreResult cr =
-      core.run(workload, cfg_.seed, instructions, *hmmc_, warmup);
+      core.run_lanes(lanes, total_instructions, *hmmc_, warmup);
 
   if (sampler) sampler->finish();
   hmmc_->set_epoch_sampler(nullptr);
@@ -59,7 +81,7 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
 
   RunResult out;
   out.design = hmmc_->name();
-  out.workload = workload.name;
+  out.workload = workload_name;
   out.instructions = cr.instructions;
   out.misses = cr.misses;
   out.ipc = cr.ipc(cfg_.core.freq_ghz);
@@ -95,6 +117,67 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
     }
     art->events = sink.take();
     out.artifacts = std::move(art);
+  }
+
+  if (attach_core_perf) {
+    const auto& core_stats = hmmc_->core_stats();
+    auto perf = std::make_shared<std::vector<CorePerf>>();
+    u64 req_sum = 0, served_sum = 0, inst_sum = 0, miss_sum = 0;
+    u64 hbm_byte_sum = 0, dram_byte_sum = 0;
+    Tick latency_sum = 0;
+    for (std::size_t c = 0; c < lanes.size(); ++c) {
+      CorePerf p;
+      p.core = static_cast<u32>(c);
+      p.workload = lanes[c].profile.name;
+      p.instructions = cr.per_core[c].instructions;
+      p.misses = cr.per_core[c].misses;
+      p.ipc = cr.per_core[c].ipc(cfg_.core.freq_ghz);
+      inst_sum += p.instructions;
+      miss_sum += p.misses;
+      if (c < core_stats.size()) {
+        const hmm::CoreStats& cs = core_stats[c];
+        p.hbm_serve_rate = cs.hbm_serve_rate();
+        p.mean_latency_ns = cs.mean_latency_ns();
+        p.latency_p50_ns = cs.latency_ns.quantile(0.50);
+        p.latency_p99_ns = cs.latency_ns.quantile(0.99);
+        p.hbm_bytes = cs.hbm_bytes();
+        p.dram_bytes = cs.dram_bytes();
+        req_sum += cs.requests;
+        served_sum += cs.hbm_served;
+        latency_sum += cs.total_latency;
+        hbm_byte_sum += p.hbm_bytes;
+        dram_byte_sum += p.dram_bytes;
+      }
+      perf->push_back(std::move(p));
+    }
+    // Attribution must conserve the aggregate counters: every measured
+    // request, HBM-served request and latency tick belongs to exactly one
+    // core; instructions/misses partition across lanes. Device bytes are
+    // charged by causation, so their per-core sums are bounded by the
+    // device totals (end-of-run drain traffic has no causing core).
+    BB_CHECK(req_sum == ms.requests,
+             "per-core request counts must sum to the aggregate");
+    BB_CHECK(served_sum == ms.hbm_served,
+             "per-core HBM-served counts must sum to the aggregate");
+    BB_CHECK(latency_sum == ms.total_latency,
+             "per-core latency must sum to the aggregate");
+    BB_CHECK(inst_sum == cr.instructions,
+             "per-core instructions must partition the total");
+    BB_CHECK(miss_sum == cr.misses,
+             "per-core misses must partition the total");
+    BB_CHECK(hbm_byte_sum <= out.hbm_bytes,
+             "per-core HBM bytes cannot exceed the device total");
+    BB_CHECK(dram_byte_sum <= out.dram_bytes,
+             "per-core DRAM bytes cannot exceed the device total");
+    // Checked builds consume the sums above; keep release builds quiet.
+    (void)req_sum;
+    (void)served_sum;
+    (void)latency_sum;
+    (void)inst_sum;
+    (void)miss_sum;
+    (void)hbm_byte_sum;
+    (void)dram_byte_sum;
+    out.core_perf = std::move(perf);
   }
   return out;
 }

@@ -60,6 +60,23 @@ struct RunArtifacts {
   std::vector<TraceEvent> events;
 };
 
+/// Per-core slice of a multi-programmed run: the core's own pipeline
+/// numbers plus the memory-system statistics the controller attributed to
+/// its requests (see hmm::CoreStats for the attribution rules).
+struct CorePerf {
+  u32 core = 0;
+  std::string workload;
+  u64 instructions = 0;
+  u64 misses = 0;
+  double ipc = 0;
+  double hbm_serve_rate = 0;
+  double mean_latency_ns = 0;
+  double latency_p50_ns = 0;
+  double latency_p99_ns = 0;
+  u64 hbm_bytes = 0;   ///< device bytes caused by this core's requests
+  u64 dram_bytes = 0;
+};
+
 /// Everything measured from one (design, workload) simulation.
 struct RunResult {
   std::string design;
@@ -92,6 +109,10 @@ struct RunResult {
   /// Epoch rows + trace events when SystemConfig::obs enabled them
   /// (shared_ptr keeps RunResult cheap to copy; nullptr otherwise).
   std::shared_ptr<RunArtifacts> artifacts;
+
+  /// Per-core attribution, populated by System::run_mix only (nullptr for
+  /// homogeneous runs, so the scalar exports are unchanged).
+  std::shared_ptr<std::vector<CorePerf>> core_perf;
 };
 
 class System {
@@ -109,6 +130,17 @@ class System {
                           const trace::WorkloadProfile& workload,
                           u64 instructions);
 
+  /// Multi-programmed co-run: one lane per core (heterogeneous profiles,
+  /// seeds and address bases — see sim/mix.h for the MixSpec front end).
+  /// The lane count overrides SystemConfig::core.cores; the total budget
+  /// is `per_core_instructions * lanes.size()`. The returned result is the
+  /// aggregate (workload = `mix_name`) with per-core attribution attached
+  /// via RunResult::core_perf; per-core sums are BB_CHECKed against the
+  /// aggregate counters.
+  RunResult run_mix(const std::string& design,
+                    const std::vector<CoreLane>& lanes,
+                    const std::string& mix_name, u64 per_core_instructions);
+
   /// Access to the most recent run's controller (inspection in tests and
   /// harnesses; invalidated by the next run()).
   hmm::HybridMemoryController* last_controller() { return hmmc_.get(); }
@@ -120,6 +152,11 @@ class System {
  private:
   RunResult run_current(const trace::WorkloadProfile& workload,
                         u64 instructions);
+  /// Shared replay + result assembly for run_current and run_mix.
+  RunResult run_lanes_current(const std::vector<CoreLane>& lanes,
+                              u64 total_instructions,
+                              const std::string& workload_name,
+                              bool attach_core_perf);
 
   SystemConfig cfg_;
   std::unique_ptr<mem::DramDevice> hbm_;

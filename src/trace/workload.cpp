@@ -1,5 +1,6 @@
 #include "trace/workload.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bb::trace {
@@ -73,6 +74,27 @@ std::vector<WorkloadProfile> WorkloadProfile::by_class(MpkiClass c) {
     if (p.mpki_class == c) out.push_back(p);
   }
   return out;
+}
+
+std::vector<std::string> workload_names() {
+  std::vector<std::string> out;
+  for (const auto& p : WorkloadProfile::spec2017()) out.push_back(p.name);
+  return out;
+}
+
+void require_workload_names(const std::vector<std::string>& names) {
+  const auto known = workload_names();
+  for (const auto& name : names) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::string valid;
+      for (const auto& k : known) {
+        if (!valid.empty()) valid += ", ";
+        valid += k;
+      }
+      throw std::invalid_argument("unknown workload: " + name +
+                                  " (valid: " + valid + ")");
+    }
+  }
 }
 
 }  // namespace bb::trace

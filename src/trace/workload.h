@@ -69,4 +69,14 @@ struct WorkloadProfile {
   static std::vector<WorkloadProfile> by_class(MpkiClass c);
 };
 
+/// Every Table II benchmark name, in table order (what drivers print for
+/// --list-workloads).
+std::vector<std::string> workload_names();
+
+/// Validates requested workload names against Table II before any
+/// simulation starts (mirrors baselines::require_design_names). Throws
+/// std::invalid_argument naming the first unknown entry and listing every
+/// valid name, so a typo fails a sweep in milliseconds.
+void require_workload_names(const std::vector<std::string>& names);
+
 }  // namespace bb::trace

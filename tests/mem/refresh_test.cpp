@@ -59,6 +59,46 @@ TEST(Refresh, IdleGapsFastForwardWithoutStall) {
   EXPECT_GT(dev.stats().refreshes, 20'000u);  // ~100ms / 3.9us
 }
 
+TEST(Refresh, FastForwardCountsEverySkippedWindow) {
+  // Round-number timing so the expected count is exact: with tREFI = 1 us,
+  // an access issued at t = 1 ms must see floor(t / tREFI) = 1000 refreshes
+  // — the fast-forward path counts the idle-window refreshes it skips and
+  // the resume loop performs the final one(s) for real.
+  auto p = with_refresh(true);
+  p.trefi_ns = 1000;
+  p.trfc_ns = 100;
+  DramDevice dev(p);
+  dev.access(0, 64, AccessType::kRead, ns_to_ticks(1'000'000));
+  EXPECT_EQ(dev.stats().refreshes, 1000u);
+}
+
+TEST(Refresh, FastForwardRestoresBankStateAfterIdle) {
+  auto p = with_refresh(true);
+  p.trefi_ns = 1000;
+  p.trfc_ns = 100;
+  DramDevice dev(p);
+  dev.access(0, 64, AccessType::kRead, 0);  // opens a row
+  // Long idle stretch: the skipped refreshes must leave the bank with no
+  // open row (refresh precharges), so the re-access is row_empty, not a
+  // row hit against stale open-row state.
+  const auto r = dev.access(0, 64, AccessType::kRead,
+                            ns_to_ticks(10'000'000));
+  EXPECT_EQ(dev.stats().row_hits, 0u);
+  EXPECT_EQ(dev.stats().row_empty, 2u);
+  // ready_at resumed correctly: the access pays at most one in-progress
+  // refresh window on top of a normal row-empty access, never the sum of
+  // the thousands of skipped windows.
+  DramDevice clean(with_refresh(false));
+  const auto c = clean.access(0, 64, AccessType::kRead, 0);
+  EXPECT_LE(r.latency(), c.latency() + ns_to_ticks(p.trfc_ns));
+
+  // The bank is live again: an immediate same-row re-access (before the
+  // next tREFI boundary) is a row hit with normal hit latency.
+  const auto follow = dev.access(0, 64, AccessType::kRead, r.complete);
+  EXPECT_EQ(dev.stats().row_hits, 1u);
+  EXPECT_LT(follow.latency(), c.latency());
+}
+
 TEST(Turnaround, WriteToReadPaysWtr) {
   auto p = with_refresh(false);
   DramDevice dev(p);

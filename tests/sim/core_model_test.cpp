@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "hmm/controller.h"
 
 namespace bb::sim {
@@ -122,6 +125,52 @@ TEST_F(CoreModelTest, WarmupResetsMeasurement) {
   EXPECT_LT(r.instructions, 600'000u);
   // Stats were reset at the warmup boundary.
   EXPECT_EQ(mem.stats().requests, r.misses);
+}
+
+TEST_F(CoreModelTest, IpcIsAggregateInstructionsOverElapsedCycles) {
+  // Pins the documented definition: aggregate IPC = total instructions
+  // across all cores / elapsed cycles of the slowest core.
+  CoreParams p;
+  p.cores = 2;
+  CoreModel core(p);
+  FixedLatencyController mem(hbm_, dram_, ns_to_ticks(50));
+  const auto r = core.run(trace::WorkloadProfile::by_name("mcf"), 7,
+                          1'000'000, mem);
+  ASSERT_GT(r.elapsed, 0u);
+  const double cycles = ticks_to_s(r.elapsed) * p.freq_ghz * 1e9;
+  EXPECT_DOUBLE_EQ(r.ipc(p.freq_ghz),
+                   static_cast<double>(r.instructions) / cycles);
+
+  // The per-core breakdown partitions the totals; the slowest core's
+  // finish time is the aggregate elapsed.
+  ASSERT_EQ(r.per_core.size(), 2u);
+  u64 inst = 0, misses = 0;
+  Tick slowest = 0;
+  for (const auto& c : r.per_core) {
+    inst += c.instructions;
+    misses += c.misses;
+    slowest = std::max(slowest, c.elapsed);
+  }
+  EXPECT_EQ(inst, r.instructions);
+  EXPECT_EQ(misses, r.misses);
+  EXPECT_EQ(slowest, r.elapsed);
+}
+
+TEST_F(CoreModelTest, HeterogeneousLanesKeepPerCoreCharacter) {
+  CoreParams p;
+  p.cores = 2;
+  CoreModel core(p);
+  FixedLatencyController mem(hbm_, dram_, ns_to_ticks(50));
+  const std::vector<CoreLane> lanes = {
+      {trace::WorkloadProfile::by_name("mcf"), 1, 0},
+      {trace::WorkloadProfile::by_name("leela"), 2, 8 * GiB},
+  };
+  const auto r = core.run_lanes(lanes, 1'000'000, mem);
+  ASSERT_EQ(r.per_core.size(), 2u);
+  // mcf (MPKI 16.1) must miss orders of magnitude more often than leela
+  // (MPKI 0.1) — the lanes really run different profiles.
+  EXPECT_GT(r.per_core[0].misses, r.per_core[1].misses * 10);
+  EXPECT_GT(r.per_core[1].instructions, 0u);
 }
 
 TEST_F(CoreModelTest, DeterministicAcrossRuns) {

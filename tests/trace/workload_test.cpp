@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 namespace bb::trace {
 namespace {
@@ -85,6 +86,35 @@ TEST(Workload, ClassNames) {
   EXPECT_STREQ(to_string(MpkiClass::kHigh), "High");
   EXPECT_STREQ(to_string(MpkiClass::kMedium), "Medium");
   EXPECT_STREQ(to_string(MpkiClass::kLow), "Low");
+}
+
+TEST(Workload, NamesListEveryProfileInTableOrder) {
+  const auto names = workload_names();
+  const auto& profiles = WorkloadProfile::spec2017();
+  ASSERT_EQ(names.size(), profiles.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(names[i], profiles[i].name);
+  }
+}
+
+TEST(Workload, RequireWorkloadNamesAcceptsKnownNames) {
+  EXPECT_NO_THROW(require_workload_names({"mcf", "lbm", "xz"}));
+  EXPECT_NO_THROW(require_workload_names({}));
+}
+
+TEST(Workload, RequireWorkloadNamesThrowsListingValidNames) {
+  try {
+    require_workload_names({"mcf", "nonesuch"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload: nonesuch"), std::string::npos)
+        << msg;
+    // The error lists every valid name so a typo is self-explaining.
+    for (const auto& name : workload_names()) {
+      EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+  }
 }
 
 }  // namespace
