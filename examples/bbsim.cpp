@@ -3,27 +3,47 @@
 //
 //   ./bbsim --designs=DRAM-only,Bumblebee,Hybrid2 --workloads=mcf,wrf
 //   ./bbsim --designs=all --workloads=all --misses=50000 --csv
-//   ./bbsim --designs=DRAM-only,Bumblebee --workloads=mcf \
+//   ./bbsim --designs=DRAM-only,Bumblebee --workloads=mcf
 //           --epoch-csv=epochs.csv --trace=run.json --trace-format=chrome
 //   ./bbsim --designs=Bumblebee --mix=mixed-locality4,mcf+lbm --csv
+//   ./bbsim --designs=Bumblebee --workloads=mcf --fault-profile=mixed
+//           --fault-rate=1e-4 --fault-seed=1 --csv
 //
 // Design names follow the factory (README); "all" expands to
 // baselines::comparison_designs() — the Figure 8 set plus the
 // PoM/SILC-FM/MemPod extensions. --mix switches to multi-programmed
 // co-runs: each comma-separated entry is a preset name (--list-mixes) or
 // '+'-joined workload names, one per core.
+//
+// Exit codes: 0 success, 2 usage error (unknown name / bad flag value),
+// 3 I/O error (unopenable output or journal file), 4 internal error,
+// 130 interrupted (SIGINT; the checkpoint journal, if any, is flushed).
+#include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "baselines/factory.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "fault/fault.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
 namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+constexpr int kExitInternal = 4;
+constexpr int kExitInterrupted = 130;
+
+// SIGINT requests cooperative cancellation: the matrix stops claiming new
+// cells, running cells finish and journal, and main exits with 130.
+volatile std::sig_atomic_t g_interrupted = 0;
+void on_sigint(int) { g_interrupted = 1; }
 
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
@@ -35,10 +55,7 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+int run(const Flags& flags) {
   if (flags.has("help")) {
     std::cout <<
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
@@ -53,12 +70,18 @@ int main(int argc, char** argv) {
         "              [--trace-format=jsonl|chrome]  (default jsonl)\n"
         "              [--resume=FILE]  (checkpoint journal: finished cells\n"
         "               are restored from FILE, new cells appended to it;\n"
-        "               not supported with --mix)\n"
+        "               works for plain and --mix matrices)\n"
         "              [--mix=SPEC,...]  (multi-programmed co-runs: each\n"
         "               SPEC is a preset name or w1+w2+... per-core list)\n"
         "              [--instructions=N]  (fixed budget: per cell, or per\n"
         "               core with --mix; overrides --misses)\n"
-        "              [--list-workloads] [--list-mixes]\n";
+        "              [--fault-profile=P]  (fault injection; P one of\n"
+        "               none|transient|stuck-rows|dead-bank|mixed)\n"
+        "              [--fault-rate=R]  (per-access fault probability,\n"
+        "               default 1e-4; implies --fault-profile=mixed)\n"
+        "              [--fault-seed=N]  (extra fault-model seed salt)\n"
+        "              [--list-workloads] [--list-mixes]\n"
+        "exit codes: 0 ok, 2 usage, 3 I/O, 4 internal, 130 interrupted\n";
     std::cout << "designs:";
     for (const auto& name : baselines::all_design_names()) {
       std::cout << ' ' << name;
@@ -90,7 +113,7 @@ int main(int argc, char** argv) {
     baselines::require_design_names(designs);
   } catch (const std::invalid_argument& e) {
     std::cerr << "bbsim: " << e.what() << "\n";
-    return 1;
+    return kExitUsage;
   }
 
   std::vector<trace::WorkloadProfile> workloads;
@@ -103,7 +126,7 @@ int main(int argc, char** argv) {
       trace::require_workload_names(names);
     } catch (const std::invalid_argument& e) {
       std::cerr << "bbsim: " << e.what() << "\n";
-      return 1;
+      return kExitUsage;
     }
     for (const auto& name : names) {
       workloads.push_back(trace::WorkloadProfile::by_name(name));
@@ -119,7 +142,7 @@ int main(int argc, char** argv) {
       }
     } catch (const std::invalid_argument& e) {
       std::cerr << "bbsim: " << e.what() << "\n";
-      return 1;
+      return kExitUsage;
     }
   }
 
@@ -128,13 +151,28 @@ int main(int argc, char** argv) {
   cfg.core.cores = static_cast<u32>(flags.get_u64("cores", cfg.core.cores));
   cfg.seed = flags.get_u64("seed", cfg.seed);
 
+  // Fault injection (opt-in; any of the three flags enables it). A bare
+  // --fault-rate or --fault-seed implies the "mixed" profile.
+  if (flags.has("fault-profile") || flags.has("fault-rate") ||
+      flags.has("fault-seed")) {
+    try {
+      cfg.fault = fault::FaultConfig::profile(
+          flags.get_string("fault-profile", "mixed"),
+          flags.get_double("fault-rate", 1e-4),
+          flags.get_u64("fault-seed", 0));
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "bbsim: " << e.what() << "\n";
+      return kExitUsage;
+    }
+  }
+
   // Observability (opt-in; off = zero overhead beyond a pointer test).
   const std::string epoch_csv = flags.get_string("epoch-csv", "");
   const std::string trace_file = flags.get_string("trace", "");
   const std::string trace_format = flags.get_string("trace-format", "jsonl");
   if (trace_format != "jsonl" && trace_format != "chrome") {
     std::cerr << "bbsim: unknown --trace-format: " << trace_format << "\n";
-    return 1;
+    return kExitUsage;
   }
   cfg.obs.trace = !trace_file.empty();
   if (!epoch_csv.empty() || flags.has("epoch-requests") ||
@@ -150,40 +188,95 @@ int main(int argc, char** argv) {
   opts.instructions = flags.get_u64("instructions", 0);
 
   // Checkpoint/resume: restore finished cells from the journal, append
-  // newly finished cells to it (crash-safe: one line per cell, malformed
-  // trailing lines are skipped on load).
+  // newly finished cells to it (crash-safe: one line per cell; a torn
+  // final line from a killed run is skipped on load). A journal that
+  // yields nothing but malformed lines is quarantined — renamed aside and
+  // replaced with a fresh one — rather than silently re-simulating on top
+  // of a file that will keep confusing every future resume.
   const std::string resume_file = flags.get_string("resume", "");
-  if (!mixes.empty() && !resume_file.empty()) {
-    std::cerr << "bbsim: --resume is not supported with --mix (alone-run "
-                 "baselines are not journaled)\n";
-    return 1;
-  }
   sim::ResultJournal journal;
   std::ofstream journal_out;
   if (!resume_file.empty()) {
     if (std::ifstream in{resume_file}) {
-      const std::size_t n = journal.load(in);
-      if (n) std::cerr << "resume: " << n << " cells from " << resume_file
-                       << "\n";
+      const auto loaded = journal.load_stats(in);
+      in.close();
+      if (loaded.restored == 0 && loaded.malformed > 0) {
+        const std::string quarantined = resume_file + ".corrupt";
+        if (std::rename(resume_file.c_str(), quarantined.c_str()) != 0) {
+          std::cerr << "bbsim: cannot quarantine unparseable --resume file: "
+                    << resume_file << "\n";
+          return kExitIo;
+        }
+        std::cerr << "bbsim: warning: --resume file " << resume_file
+                  << " had no parseable entries; moved to " << quarantined
+                  << ", starting a fresh journal\n";
+      } else {
+        if (loaded.malformed > 0) {
+          std::cerr << "bbsim: warning: skipped " << loaded.malformed
+                    << " malformed journal line(s) in " << resume_file
+                    << " (torn tail from an interrupted run?)\n";
+        }
+        if (loaded.restored > 0) {
+          std::cerr << "resume: " << loaded.restored << " entries from "
+                    << resume_file << "\n";
+        }
+      }
     }
     journal_out.open(resume_file, std::ios::app);
     if (!journal_out) {
       std::cerr << "bbsim: cannot open --resume file: " << resume_file
                 << "\n";
-      return 1;
+      return kExitIo;
     }
     opts.resume = &journal;
   }
-  opts.on_result = [&journal_out](const sim::RunResult& r) {
+
+  const bool mix_mode = !mixes.empty();
+  opts.on_result = [&journal_out, mix_mode](const sim::RunResult& r) {
     std::cerr << r.design << "/" << r.workload << " done\n";
-    if (journal_out.is_open()) {
+    // Mix cells journal through on_mix_result (the aggregate is embedded
+    // in the mix line); journaling it here too would double-book the cell.
+    if (!mix_mode && journal_out.is_open()) {
       journal_out << sim::ResultJournal::line(r) << "\n" << std::flush;
     }
   };
-  if (!mixes.empty()) {
+  if (mix_mode) {
+    opts.on_alone = [&journal_out](const std::string& design,
+                                   const std::string& workload, double ipc) {
+      if (journal_out.is_open()) {
+        journal_out << sim::ResultJournal::alone_line(design, workload, ipc)
+                    << "\n"
+                    << std::flush;
+      }
+    };
+    opts.on_mix_result = [&journal_out](const sim::MixResult& r) {
+      if (journal_out.is_open()) {
+        journal_out << sim::ResultJournal::mix_line(r) << "\n" << std::flush;
+      }
+    };
+  }
+
+  std::signal(SIGINT, on_sigint);
+  opts.cancel = [] { return g_interrupted != 0; };
+
+  if (mix_mode) {
     runner.run_mix_matrix(designs, mixes, opts);
   } else {
     runner.run_matrix(designs, workloads, opts);
+  }
+
+  if (g_interrupted) {
+    if (journal_out.is_open()) {
+      journal_out.flush();
+      journal_out.close();
+      std::cerr << "bbsim: interrupted; journal flushed to " << resume_file
+                << "; rerun with --resume=" << resume_file
+                << " to continue\n";
+    } else {
+      std::cerr << "bbsim: interrupted; partial results discarded (use "
+                   "--resume=FILE to make runs restartable)\n";
+    }
+    return kExitInterrupted;
   }
 
   if (!epoch_csv.empty()) {
@@ -191,7 +284,7 @@ int main(int argc, char** argv) {
     if (!out) {
       std::cerr << "bbsim: cannot open --epoch-csv file: " << epoch_csv
                 << "\n";
-      return 1;
+      return kExitIo;
     }
     runner.write_epoch_csv(out);
   }
@@ -199,7 +292,7 @@ int main(int argc, char** argv) {
     std::ofstream out(trace_file);
     if (!out) {
       std::cerr << "bbsim: cannot open --trace file: " << trace_file << "\n";
-      return 1;
+      return kExitIo;
     }
     runner.write_trace(out, trace_format == "chrome"
                                 ? sim::ExperimentRunner::TraceFormat::kChrome
@@ -207,7 +300,7 @@ int main(int argc, char** argv) {
   }
 
   if (flags.has("csv")) {
-    if (!mixes.empty()) {
+    if (mix_mode) {
       runner.write_mix_csv(std::cout);
     } else {
       runner.write_csv(std::cout);
@@ -215,7 +308,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (flags.has("json")) {
-    if (!mixes.empty()) {
+    if (mix_mode) {
       runner.write_mix_json(std::cout);
     } else {
       runner.write_json(std::cout);
@@ -223,7 +316,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!mixes.empty()) {
+  if (mix_mode) {
     TextTable table({"mix", "design", "core", "workload", "IPC", "alone",
                      "speedup", "HBM serve", "WS", "hmean", "max SD"});
     for (const auto& r : runner.mix_results()) {
@@ -262,4 +355,19 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    return run(flags);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "bbsim: " << e.what() << "\n";
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "bbsim: internal error: " << e.what() << "\n";
+    return kExitInternal;
+  }
 }

@@ -49,6 +49,12 @@ struct BumblebeeConfig {
   Tick sram_latency = ns_to_ticks(2.0);
   bool metadata_in_hbm = false;  ///< Meta-H ablation
 
+  // --------------------------------------------------- fault degradation
+  /// Retired HBM frames a set tolerates before it degrades: caching is
+  /// disabled, existing copies are flushed, and the set serves from
+  /// off-chip DRAM only (fault injection; never reached fault-free).
+  u32 degrade_after_retired_frames = 2;
+
   // -------------------------------------------------------- ablation mode
   bool enable_caching = true;     ///< false: M-Only
   bool enable_migration = true;   ///< false: C-Only

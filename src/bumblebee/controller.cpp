@@ -174,6 +174,12 @@ void BumblebeeController::register_metrics(MetricRegistry& reg) const {
                   [bs] { return static_cast<double>(bs->set_swaps); });
   reg.add_counter("os_swap_outs",
                   [bs] { return static_cast<double>(bs->os_swap_outs); });
+  // Fault handling (base class contributes retired_frames/degraded_sets).
+  if (hbm().faults() != nullptr || dram().faults() != nullptr) {
+    reg.add_counter("due_refetches", [bs] {
+      return static_cast<double>(bs->due_refetches);
+    });
+  }
 }
 
 // --------------------------------------------------------------- address
@@ -238,8 +244,10 @@ void BumblebeeController::allocate(SetState& st, u32 set, u32 page,
   ++bstats_.prt_misses;
 
   auto alloc_hbm = [&]() -> bool {
+    if (st.degraded) return false;  // degraded sets allocate off-chip only
     for (u32 k = 0; k < geo_.n; ++k) {
-      if (st.ble[k].mode == Ble::Mode::kFree && frame_may_mem(k)) {
+      if (st.ble[k].mode == Ble::Mode::kFree && !st.ble[k].retired &&
+          frame_may_mem(k)) {
         const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
         st.new_ple[page] = static_cast<std::int32_t>(geo_.m + k);
         st.occup[geo_.m + k] = true;
@@ -521,7 +529,8 @@ void BumblebeeController::cache_block(SetState& st, u32 set, u32 page,
   if (k == kNoPage) {
     const RatioSample before = tracing() ? set_ratio(st) : RatioSample{};
     for (u32 i = 0; i < geo_.n; ++i) {
-      if (st.ble[i].mode == Ble::Mode::kFree && frame_may_cache(i)) {
+      if (st.ble[i].mode == Ble::Mode::kFree && !st.ble[i].retired &&
+          frame_may_cache(i)) {
         k = i;
         break;
       }
@@ -689,6 +698,54 @@ void BumblebeeController::swap_with_coldest(SetState& st, u32 set, u32 page,
   verify_set(st, set, "swap_with_coldest");
 }
 
+bool BumblebeeController::retire_hbm_frame(SetState& st, u32 set, u32 k,
+                                           Tick now) {
+  Ble& b = st.ble[k];
+  if (b.retired) return false;
+  if (b.mode != Ble::Mode::kFree && !evict_frame(st, set, k, now)) {
+    // No free off-chip frame to vacate into right now; the frame stays in
+    // service and the next UE retries the retirement.
+    return false;
+  }
+  b.retired = true;
+  ++st.retired_frames;
+  ++bstats_.frame_retirements;
+  if (tracing()) {
+    trace()->emit(TraceEvent(now, "frame_retired", "fault")
+                      .arg("set", set)
+                      .arg("frame", k)
+                      .arg("set_retired_frames", st.retired_frames));
+  }
+  if (!st.degraded && st.retired_frames >= cfg_.degrade_after_retired_frames) {
+    // Too much of this set's HBM is gone: degrade it. Existing cache
+    // copies are flushed and caching disabled (trigger 5's machinery, but
+    // counted separately — this is damage control, not footprint control);
+    // mHBM residents stay until their own frames fault. alloc/migrate/
+    // cache paths all test `degraded`, so the set stops attracting data
+    // and its remap ratio is frozen.
+    st.degraded = true;
+    ++bstats_.sets_degraded;
+    for (u32 i = 0; i < geo_.n; ++i) {
+      if (st.ble[i].mode == Ble::Mode::kCache) evict_frame(st, set, i, now);
+    }
+    st.chbm_disabled = true;
+    if (tracing()) {
+      trace()->emit(TraceEvent(now, "set_degraded", "fault")
+                        .arg("set", set)
+                        .arg("retired_frames", st.retired_frames));
+    }
+  }
+  verify_set(st, set, "retire_hbm_frame");
+  return true;
+}
+
+hmm::FaultPosture BumblebeeController::fault_posture() const {
+  hmm::FaultPosture p;
+  p.retired_frames = bstats_.frame_retirements;
+  p.degraded_sets = bstats_.sets_degraded;
+  return p;
+}
+
 void BumblebeeController::flush_set_chbm(SetState& st, u32 set, Tick now) {
   for (u32 k = 0; k < geo_.n; ++k) {
     if (st.ble[k].mode == Ble::Mode::kCache) {
@@ -778,9 +835,9 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
     // (3) The page lives in mHBM: serve from HBM; no data movement.
     Ble& b = st.ble[loc - geo_.m];
     assert(b.mode == Ble::Mode::kMem && b.ple == d.page);
-    const auto r = hbm().access(frame_addr(d.set, loc) + d.offset, 64, type,
-                                t, mem::TrafficClass::kDemand);
-    res.complete = r.complete;
+    const auto rr =
+        ecc_demand(hbm(), frame_addr(d.set, loc) + d.offset, 64, type, t);
+    res.complete = rr.access.complete;
     res.served_by_hbm = true;
     res.phys_addr = frame_addr(d.set, loc) + d.offset;
     b.valid.set(d.block);
@@ -790,6 +847,14 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
       ++mutable_stats().fetched_blocks_used;
     }
     st.hot.touch_hbm(d.page);
+    if (rr.unrecovered) {
+      // The mHBM home itself is faulty: the authoritative copy of a read
+      // is lost (a write overwrites the bad word, so nothing is lost).
+      // Either way, retire the frame — the eviction inside moves the page
+      // to a clean off-chip frame so the set keeps running degraded.
+      if (type == AccessType::kRead) ++mutable_stats().due_data_loss;
+      retire_hbm_frame(st, d.set, loc - geo_.m, res.complete);
+    }
     run_zombie_check(st, d.set, t);
     // Counter/LRU updates are write-combined in the controller's buffers;
     // no metadata writeback is charged for pure serves (matters for the
@@ -806,8 +871,9 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
     // (7) Block cached: serve from cHBM.
     Ble& b = st.ble[ck];
     const Addr pa = frame_addr(d.set, geo_.m + ck) + d.offset;
-    const auto r = hbm().access(pa, 64, type, t, mem::TrafficClass::kDemand);
-    res.complete = r.complete;
+    const bool was_dirty = b.dirty.test(d.block);
+    const auto rr = ecc_demand(hbm(), pa, 64, type, t);
+    res.complete = rr.access.complete;
     res.served_by_hbm = true;
     res.phys_addr = pa;
     if (type == AccessType::kWrite) b.dirty.set(d.block);
@@ -816,17 +882,46 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
       ++mutable_stats().fetched_blocks_used;
     }
     const u64 h = st.hot.touch_hbm(d.page);
-    maybe_promote_cached(st, d.set, ck, h, r.complete);
+    if (rr.unrecovered) {
+      // The cache copy is unreadable. A clean block still has its
+      // authoritative copy in the off-chip home frame — re-fetch the
+      // demand from there; a dirty block's only copy was in the faulty
+      // frame (data loss). Then retire the frame (flush-if-dirty of the
+      // remaining blocks through the normal evict path).
+      if (type == AccessType::kRead) {
+        if (was_dirty) {
+          ++mutable_stats().due_data_loss;
+        } else {
+          const Addr home =
+              frame_addr(d.set, static_cast<u32>(st.new_ple[d.page])) +
+              d.offset;
+          const auto rf = dram().access(home, 64, type, res.complete,
+                                        mem::TrafficClass::kDemand);
+          res.complete = rf.complete;
+          res.served_by_hbm = false;
+          res.phys_addr = home;
+          ++bstats_.due_refetches;
+        }
+      }
+      retire_hbm_frame(st, d.set, ck, res.complete);
+    } else {
+      maybe_promote_cached(st, d.set, ck, h, rr.access.complete);
+    }
     run_zombie_check(st, d.set, t);
     return res;
   }
 
   // Serve from off-chip DRAM ((5) page not cached or (8) block not cached).
   const Addr pa = frame_addr(d.set, loc) + d.offset;
-  const auto r = dram().access(pa, 64, type, t, mem::TrafficClass::kDemand);
+  const auto rr = ecc_demand(dram(), pa, 64, type, t);
+  const auto r = rr.access;
   res.complete = r.complete;
   res.served_by_hbm = false;
   res.phys_addr = pa;
+  if (rr.unrecovered && type == AccessType::kRead) {
+    // Off-chip frames hold the only copy of an uncached page.
+    ++mutable_stats().due_data_loss;
+  }
 
   if (ck != kNoPage) {
     // (2) Page cached, block missing: fetch the block asynchronously. Under
@@ -860,7 +955,7 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
     }();
 
     if (all_occupied && cfg_.high_footprint_actions &&
-        cfg_.enable_migration && h > threshold) {
+        cfg_.enable_migration && h > threshold && !st.degraded) {
       // (4) Set fully OS-occupied: swap with the coldest HBM page.
       swap_with_coldest(st, d.set, d.page, r.complete);
     } else {
@@ -883,13 +978,14 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
         do_migrate = sl > 0 || no_evidence;
       }
 
-      if (do_migrate && cfg_.enable_migration && h >= 2) {
+      if (do_migrate && cfg_.enable_migration && h >= 2 && !st.degraded) {
         // Migration needs evidence of reuse (a re-access) even when HBM
         // frames are free: only data with potential for future reuse is
         // worth a page-granularity move (Section I's POM rationale).
         u32 f = kNoPage;
         for (u32 i = 0; i < geo_.n; ++i) {
-          if (st.ble[i].mode == Ble::Mode::kFree && frame_may_mem(i)) {
+          if (st.ble[i].mode == Ble::Mode::kFree && !st.ble[i].retired &&
+              frame_may_mem(i)) {
             f = i;
             break;
           }
@@ -907,7 +1003,8 @@ hmm::HmmResult BumblebeeController::service(Addr addr, AccessType type,
       } else if (cfg_.enable_caching && !st.chbm_disabled) {
         u32 f = kNoPage;
         for (u32 i = 0; i < geo_.n; ++i) {
-          if (st.ble[i].mode == Ble::Mode::kFree && frame_may_cache(i)) {
+          if (st.ble[i].mode == Ble::Mode::kFree && !st.ble[i].retired &&
+              frame_may_cache(i)) {
             f = i;
             break;
           }
@@ -979,8 +1076,14 @@ bool BumblebeeController::check_set_invariants(const SetState& st,
   u32 chbm = 0;
   u32 mhbm = 0;
   u32 free_frames = 0;
+  u32 retired = 0;
   for (u32 k = 0; k < geo_.n; ++k) {
     const Ble& b = st.ble[k];
+    if (b.retired) {
+      // A retired frame must be fully out of service: kFree forever.
+      if (b.mode != Ble::Mode::kFree) return false;
+      ++retired;
+    }
     switch (b.mode) {
       case Ble::Mode::kFree:
         if (st.occup[geo_.m + k]) return false;
@@ -1011,6 +1114,14 @@ bool BumblebeeController::check_set_invariants(const SetState& st,
   // Ratio bookkeeping: cHBM + mHBM + free frames sum to the set's HBM
   // frame count (nothing double-counted or lost across a ratio change).
   if (chbm + mhbm + free_frames != geo_.n) return false;
+  // Fault retirement bookkeeping: the sticky BLE flags agree with the
+  // set's counter, and a degraded set has stopped caching.
+  if (retired != st.retired_frames) return false;
+  if (st.degraded &&
+      (!st.chbm_disabled ||
+       st.retired_frames < cfg_.degrade_after_retired_frames)) {
+    return false;
+  }
   // Hot table: the HBM queue holds exactly the HBM-resident pages (each
   // non-free BLE holds a distinct page, so sizes must match too).
   if (st.hot.hbm_size() != chbm + mhbm) return false;

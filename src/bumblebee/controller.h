@@ -49,6 +49,11 @@ struct BumblebeeStats {
   u64 os_swap_outs = 0;          ///< allocation fallback: page pushed out
   u64 chbm_evictions = 0;
   u64 mhbm_evictions = 0;
+
+  // Fault handling (zero in fault-free runs).
+  u64 frame_retirements = 0;  ///< HBM frames mapped out after UEs
+  u64 due_refetches = 0;      ///< clean cHBM DUEs re-served from off-chip
+  u64 sets_degraded = 0;      ///< sets past the retirement threshold
 };
 
 class BumblebeeController final : public hmm::HybridMemoryController {
@@ -91,6 +96,9 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   /// cHBM/mHBM/free frame counts, per-set cHBM share mean/min/max, movement
   /// counters, sets with caching disabled).
   void register_metrics(MetricRegistry& reg) const override;
+
+  /// Frames retired / sets degraded by fault handling (see FaultPosture).
+  hmm::FaultPosture fault_posture() const override;
 
  protected:
   hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
@@ -136,6 +144,14 @@ class BumblebeeController final : public hmm::HybridMemoryController {
                             Tick now);
   void cache_block(SetState& st, u32 set, u32 page, u32 block, Tick now,
                    bool mark_dirty);
+  /// Retires HBM frame `k` after an uncorrectable error: evicts its page
+  /// through the normal path first (flush-if-dirty), marks the BLE sticky
+  /// retired, and degrades the whole set once
+  /// cfg_.degrade_after_retired_frames frames are gone. Returns false if
+  /// the frame could not be vacated yet (no free DRAM frame) — the next UE
+  /// retries. Re-verifies the set invariants on every retirement.
+  bool retire_hbm_frame(SetState& st, u32 set, u32 k, Tick now);
+
   void switch_cache_to_mem(SetState& st, u32 set, u32 k, Tick now);
   void swap_with_coldest(SetState& st, u32 set, u32 page, Tick now);
   void flush_set_chbm(SetState& st, u32 set, Tick now);

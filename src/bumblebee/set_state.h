@@ -31,6 +31,10 @@ struct Ble {
 
   Mode mode = Mode::kFree;
   u32 ple = kNoPage;  ///< in-set index of the page whose data is here
+  /// Frame mapped out after uncorrectable errors (fault injection). Sticky:
+  /// reset() deliberately leaves it set — a retired frame stays kFree but
+  /// is never allocated again.
+  bool retired = false;
   BitVector valid;    ///< cache: blocks present; mem: blocks accessed
   BitVector dirty;    ///< blocks modified relative to the off-chip copy
 
@@ -74,6 +78,12 @@ struct SetState {
   bool chbm_disabled = false; ///< high-footprint batch flush (trigger 5)
   std::int32_t last_alloc_page = -1;  ///< hotness-based allocation hint
 
+  // Graceful degradation (fault injection): frames retired from this set,
+  // and whether the set has crossed the degradation threshold (no further
+  // HBM allocation or caching; existing copies were flushed off-chip).
+  u32 retired_frames = 0;
+  bool degraded = false;
+
   /// Frame currently caching page i in cHBM mode, or kNoPage.
   u32 cache_frame_of(u32 page) const {
     for (u32 k = 0; k < ble.size(); ++k) {
@@ -82,17 +92,19 @@ struct SetState {
     return kNoPage;
   }
 
-  /// First free HBM frame (BLE index), or kNoPage.
+  /// First free, non-retired HBM frame (BLE index), or kNoPage.
   u32 free_hbm_frame() const {
     for (u32 k = 0; k < ble.size(); ++k) {
-      if (ble[k].mode == Ble::Mode::kFree) return k;
+      if (ble[k].mode == Ble::Mode::kFree && !ble[k].retired) return k;
     }
     return kNoPage;
   }
 
+  /// Free HBM frames that are still allocatable (retired frames excluded,
+  /// so a fully-retired set reads as "Rh high" and stops attracting data).
   u32 free_hbm_frames() const {
     u32 c = 0;
-    for (const auto& b : ble) c += (b.mode == Ble::Mode::kFree);
+    for (const auto& b : ble) c += (b.mode == Ble::Mode::kFree && !b.retired);
     return c;
   }
 

@@ -80,6 +80,9 @@ void HybridMemoryController::set_core_count(u32 cores) {
 void HybridMemoryController::set_trace_sink(TraceSink* sink) {
   trace_ = sink;
   paging_.set_trace_sink(sink);
+  // The devices emit fault_injected events; they share the run's sink.
+  hbm_.set_trace_sink(sink);
+  dram_.set_trace_sink(sink);
 }
 
 void HybridMemoryController::register_metrics(MetricRegistry& reg) const {
@@ -100,6 +103,23 @@ void HybridMemoryController::register_metrics(MetricRegistry& reg) const {
   reg.add_counter("page_faults", [pg] {
     return static_cast<double>(pg->stats().faults);
   });
+  // ECC recovery / degradation probes, only when a fault model is attached
+  // so fault-free epoch CSVs keep their column set.
+  if (hbm_.faults() != nullptr || dram_.faults() != nullptr) {
+    reg.add_counter("due_retries", [st] {
+      return static_cast<double>(st->due_retries);
+    });
+    reg.add_counter("due_unrecovered", [st] {
+      return static_cast<double>(st->due_unrecovered);
+    });
+    const HybridMemoryController* self = this;
+    reg.add_gauge("retired_frames", [self] {
+      return static_cast<double>(self->fault_posture().retired_frames);
+    });
+    reg.add_gauge("degraded_sets", [self] {
+      return static_cast<double>(self->fault_posture().degraded_sets);
+    });
+  }
   // Per-core attribution probes (co-run evaluation); registered only when a
   // multi-core table was sized, so single-core epoch CSVs keep their
   // column set. Probes index through the member vector each call — its
@@ -155,6 +175,33 @@ Tick HybridMemoryController::swap_data(mem::DramDevice& a, Addr a_addr,
   return std::max(wa.complete, wb.complete);
 }
 
+HybridMemoryController::EccDemand HybridMemoryController::ecc_demand(
+    mem::DramDevice& dev, Addr addr, u64 bytes, AccessType type, Tick now,
+    mem::TrafficClass cls) {
+  EccDemand out;
+  out.access = dev.access(addr, bytes, type, now, cls);
+  if (out.access.ecc != fault::EccOutcome::kUncorrectable) return out;
+  const fault::DeviceFaultState* fs = dev.faults();
+  if (fs == nullptr) {  // defensive: a UE implies an attached fault model
+    out.unrecovered = true;
+    return out;
+  }
+  Tick backoff = fs->config().due_retry_backoff;
+  for (u32 attempt = 0; attempt < fs->config().max_due_retries; ++attempt) {
+    ++stats_.due_retries;
+    out.access = dev.access(addr, bytes, type, out.access.complete + backoff,
+                            cls);
+    if (out.access.ecc != fault::EccOutcome::kUncorrectable) {
+      ++stats_.due_recovered;
+      return out;
+    }
+    backoff *= 2;
+  }
+  ++stats_.due_unrecovered;
+  out.unrecovered = true;
+  return out;
+}
+
 DramOnlyController::DramOnlyController(mem::DramDevice& hbm,
                                        mem::DramDevice& dram,
                                        PagingConfig paging)
@@ -169,10 +216,14 @@ HmmResult DramOnlyController::service(Addr addr, AccessType type, Tick now) {
   HmmResult res;
   // HBM absent: all OS addresses fold into the off-chip DRAM.
   const Addr phys = addr % dram().capacity();
-  const auto r = dram().access(phys, 64, type, now);
-  res.complete = r.complete;
+  const auto r = ecc_demand(dram(), phys, 64, type, now);
+  res.complete = r.access.complete;
   res.served_by_hbm = false;
   res.phys_addr = phys;
+  if (r.unrecovered && type == AccessType::kRead) {
+    // The only copy of the data was unreadable.
+    ++mutable_stats().due_data_loss;
+  }
   return res;
 }
 

@@ -81,6 +81,12 @@ struct HmmStats {
   u64 mode_switches = 0;    ///< cHBM<->mHBM conversions
   u64 swaps = 0;            ///< full page swaps
 
+  // DUE recovery accounting (all zero in fault-free runs).
+  u64 due_retries = 0;      ///< re-read attempts issued after a DUE
+  u64 due_recovered = 0;    ///< DUEs cleared by a retry (transients)
+  u64 due_unrecovered = 0;  ///< DUEs that survived every retry
+  u64 due_data_loss = 0;    ///< unrecovered reads with no clean copy left
+
   double hbm_serve_rate() const {
     return requests ? static_cast<double>(hbm_served) /
                           static_cast<double>(requests)
@@ -145,6 +151,14 @@ struct CoreStats {
   }
 };
 
+/// Controller-level degradation posture under fault injection: how much
+/// HBM the design has taken out of service. Zero for designs without a
+/// retirement path.
+struct FaultPosture {
+  u64 retired_frames = 0;  ///< HBM frames retired after uncorrectable errors
+  u64 degraded_sets = 0;   ///< sets that stopped using their cHBM/mHBM
+};
+
 class HybridMemoryController {
  public:
   HybridMemoryController(std::string name, mem::DramDevice& hbm,
@@ -201,6 +215,10 @@ class HybridMemoryController {
   const std::string& name() const { return name_; }
   const HmmStats& stats() const { return stats_; }
 
+  /// Current degradation posture (see FaultPosture). Designs with a frame
+  /// retirement path (Bumblebee) override this.
+  virtual FaultPosture fault_posture() const { return {}; }
+
   /// Clears accumulated statistics (not design state) — used to exclude
   /// warmup from measurements. Per-core slices reset in place so their
   /// count (and any registered per-core metric probes) survives.
@@ -230,6 +248,20 @@ class HybridMemoryController {
                  Addr b_addr, u64 bytes, Tick now, mem::TrafficClass cls);
 
   HmmStats& mutable_stats() { return stats_; }
+
+  /// A demand access with DUE recovery: on a detected-uncorrectable error
+  /// the access is retried with bounded, doubling backoff (the fault
+  /// model's transients are tick-keyed, so a retry re-draws; structural
+  /// faults persist through every retry). `unrecovered` reports a DUE
+  /// that survived all retries — the caller decides whether a clean copy
+  /// exists to re-fetch from, and accounts due_data_loss if not.
+  struct EccDemand {
+    mem::AccessResult access;
+    bool unrecovered = false;
+  };
+  EccDemand ecc_demand(mem::DramDevice& dev, Addr addr, u64 bytes,
+                       AccessType type, Tick now,
+                       mem::TrafficClass cls = mem::TrafficClass::kDemand);
 
   /// Event trace sink, nullptr when tracing is off. Designs test this
   /// before building an event so disabled tracing costs one pointer test.

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/trace_event.h"
 
 namespace bb::mem {
 
@@ -146,6 +148,34 @@ AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
   auto& by_class = (type == AccessType::kRead) ? stats_.read_bytes
                                                : stats_.write_bytes;
   by_class[static_cast<std::size_t>(cls)] += moved;
+
+  if (faults_ != nullptr) {
+    // ECC classification covers the access as a unit, keyed on the first
+    // beat's geometry (sufficient for 64 B demand accesses; a multi-beat
+    // transfer spanning a faulty structure still reports one event).
+    const Decoded d0 = decode(first % params_.capacity_bytes);
+    const fault::FaultEvent ev = faults_->classify(d0.channel, d0.bank,
+                                                   d0.row, now);
+    if (ev.outcome != fault::EccOutcome::kClean) {
+      res.ecc = ev.outcome;
+      if (ev.outcome == fault::EccOutcome::kCorrected) {
+        ++stats_.ce_count;
+        res.complete += faults_->config().ce_latency;
+      } else {
+        ++stats_.ue_count;
+      }
+      if (trace_ != nullptr) {
+        trace_->emit(TraceEvent(now, "fault_injected", "fault")
+                         .arg("device", fault_label_)
+                         .arg("kind", fault::to_string(ev.kind))
+                         .arg("outcome", fault::to_string(ev.outcome))
+                         .arg("channel", d0.channel)
+                         .arg("bank", d0.bank)
+                         .arg("row", d0.row)
+                         .arg("row_retired", ev.row_retired ? 1 : 0));
+      }
+    }
+  }
   return res;
 }
 
@@ -179,6 +209,21 @@ void DramDevice::register_metrics(MetricRegistry& reg,
           return static_cast<double>(st->read_bytes[c] + st->write_bytes[c]);
         });
   }
+  if (faults_ != nullptr) {
+    const fault::DeviceFaultState* fs = faults_;
+    reg.add_counter(prefix + "ce_count",
+                    [st] { return static_cast<double>(st->ce_count); });
+    reg.add_counter(prefix + "ue_count",
+                    [st] { return static_cast<double>(st->ue_count); });
+    reg.add_gauge(prefix + "retired_rows",
+                  [fs] { return static_cast<double>(fs->retired_rows()); });
+  }
+}
+
+void DramDevice::attach_faults(fault::DeviceFaultState* faults,
+                               std::string label) {
+  faults_ = faults;
+  fault_label_ = std::move(label);
 }
 
 }  // namespace bb::mem

@@ -20,11 +20,13 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "mem/energy.h"
 #include "mem/timing.h"
 
 namespace bb {
 class MetricRegistry;
+class TraceSink;
 }  // namespace bb
 
 namespace bb::mem {
@@ -60,6 +62,8 @@ struct DramStats {
   u64 row_misses = 0;   ///< row conflict (precharge + activate)
   u64 row_empty = 0;    ///< bank closed (activate only)
   u64 refreshes = 0;    ///< per-channel refresh windows taken
+  u64 ce_count = 0;     ///< ECC corrected errors (fault model attached)
+  u64 ue_count = 0;     ///< detected-uncorrectable errors
   std::array<u64, kTrafficClassCount> read_bytes{};
   std::array<u64, kTrafficClassCount> write_bytes{};
 
@@ -85,6 +89,10 @@ struct DramStats {
 struct AccessResult {
   Tick start = 0;     ///< when the first command could issue
   Tick complete = 0;  ///< when the last data beat finishes
+  /// SECDED verdict (kClean unless a fault model is attached). On
+  /// kCorrected, `complete` already includes the correction latency; on
+  /// kUncorrectable the data is unusable and the caller must recover.
+  fault::EccOutcome ecc = fault::EccOutcome::kClean;
   Tick latency() const { return complete - start; }
 };
 
@@ -113,8 +121,18 @@ class DramDevice {
   void reset_stats();
 
   /// Registers this device's epoch metrics under `prefix` (e.g. "hbm_"):
-  /// per-epoch row-hit rate and bytes moved per traffic class.
+  /// per-epoch row-hit rate and bytes moved per traffic class, plus ECC
+  /// counters when a fault model is attached.
   void register_metrics(MetricRegistry& reg, const std::string& prefix) const;
+
+  /// Attaches the fault model (nullptr detaches; fault-free by default).
+  /// `label` names the device in fault_injected trace events ("hbm" /
+  /// "dram"). The state must outlive the device or be detached first.
+  void attach_faults(fault::DeviceFaultState* faults, std::string label);
+  const fault::DeviceFaultState* faults() const { return faults_; }
+
+  /// Sink for fault_injected events (nullptr = no tracing).
+  void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
  private:
   struct Bank {
@@ -146,6 +164,9 @@ class DramDevice {
   std::vector<Tick> next_refresh_;   // per channel
   DramStats stats_;
   EnergyModel energy_;
+  fault::DeviceFaultState* faults_ = nullptr;
+  std::string fault_label_;
+  TraceSink* trace_ = nullptr;
 };
 
 }  // namespace bb::mem

@@ -32,9 +32,19 @@ void append_class_object(std::string& out,
   out += '}';
 }
 
+/// True when any reliability counter of the run is nonzero (only possible
+/// with fault injection enabled).
+bool has_fault_fields(const RunResult& r) {
+  return r.ce_count || r.ue_count || r.due_retries || r.due_unrecovered ||
+         r.due_data_loss || r.retired_rows || r.retired_frames ||
+         r.degraded_sets;
+}
+
 /// One result as a single-line JSON object — the element format of
-/// write_json and the line format of the checkpoint journal.
-std::string result_to_json(const RunResult& r) {
+/// write_json and the line format of the checkpoint journal. The
+/// reliability fields are emitted only on request so fault-free outputs
+/// stay byte-identical to their pre-fault-model form.
+std::string result_to_json(const RunResult& r, bool include_fault) {
   std::string out = "{";
   out += "\"design\":\"" + json_escape(r.design) + "\",";
   out += "\"workload\":\"" + json_escape(r.workload) + "\",";
@@ -55,6 +65,16 @@ std::string result_to_json(const RunResult& r) {
   out += "\"page_faults\":" + std::to_string(r.page_faults) + ',';
   out += "\"metadata_sram_bytes\":" + std::to_string(r.metadata_sram_bytes) +
          ',';
+  if (include_fault) {
+    out += "\"ce_count\":" + std::to_string(r.ce_count) + ',';
+    out += "\"ue_count\":" + std::to_string(r.ue_count) + ',';
+    out += "\"due_retries\":" + std::to_string(r.due_retries) + ',';
+    out += "\"due_unrecovered\":" + std::to_string(r.due_unrecovered) + ',';
+    out += "\"due_data_loss\":" + std::to_string(r.due_data_loss) + ',';
+    out += "\"retired_rows\":" + std::to_string(r.retired_rows) + ',';
+    out += "\"retired_frames\":" + std::to_string(r.retired_frames) + ',';
+    out += "\"degraded_sets\":" + std::to_string(r.degraded_sets) + ',';
+  }
   out += "\"hbm_class_bytes\":";
   append_class_object(out, r.hbm_class_bytes);
   out += ",\"dram_class_bytes\":";
@@ -63,52 +83,161 @@ std::string result_to_json(const RunResult& r) {
   return out;
 }
 
+/// Parses a RunResult object (journal "run" line or a mix line's
+/// "aggregate"). Returns false when the identifying keys are missing.
+bool parse_run_result(const JsonValue& v, RunResult& r) {
+  r.design = v.get_string("design");
+  r.workload = v.get_string("workload");
+  if (r.design.empty() || r.workload.empty()) return false;
+  r.instructions = static_cast<u64>(v.get_number("instructions"));
+  r.misses = static_cast<u64>(v.get_number("misses"));
+  r.ipc = v.get_number("ipc");
+  r.hbm_bytes = static_cast<u64>(v.get_number("hbm_bytes"));
+  r.dram_bytes = static_cast<u64>(v.get_number("dram_bytes"));
+  r.energy_mj = v.get_number("energy_mj");
+  r.hbm_serve_rate = v.get_number("hbm_serve_rate");
+  r.mean_latency_ns = v.get_number("mean_latency_ns");
+  r.latency_p50_ns = v.get_number("latency_p50_ns");
+  r.latency_p90_ns = v.get_number("latency_p90_ns");
+  r.latency_p99_ns = v.get_number("latency_p99_ns");
+  r.latency_p999_ns = v.get_number("latency_p999_ns");
+  r.mal_fraction = v.get_number("mal_fraction");
+  r.overfetch = v.get_number("overfetch");
+  r.page_faults = static_cast<u64>(v.get_number("page_faults"));
+  r.metadata_sram_bytes =
+      static_cast<u64>(v.get_number("metadata_sram_bytes"));
+  r.ce_count = static_cast<u64>(v.get_number("ce_count"));
+  r.ue_count = static_cast<u64>(v.get_number("ue_count"));
+  r.due_retries = static_cast<u64>(v.get_number("due_retries"));
+  r.due_unrecovered = static_cast<u64>(v.get_number("due_unrecovered"));
+  r.due_data_loss = static_cast<u64>(v.get_number("due_data_loss"));
+  r.retired_rows = static_cast<u64>(v.get_number("retired_rows"));
+  r.retired_frames = static_cast<u64>(v.get_number("retired_frames"));
+  r.degraded_sets = static_cast<u64>(v.get_number("degraded_sets"));
+  const auto load_classes =
+      [&v](const char* key, std::array<u64, mem::kTrafficClassCount>& out) {
+        const JsonValue* obj = v.find(key);
+        if (!obj || !obj->is_object()) return;
+        for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
+          out[c] = static_cast<u64>(obj->get_number(
+              mem::to_string(static_cast<mem::TrafficClass>(c))));
+        }
+      };
+  load_classes("hbm_class_bytes", r.hbm_class_bytes);
+  load_classes("dram_class_bytes", r.dram_class_bytes);
+  return true;
+}
+
+/// One MixResult as a single-line JSON object — the element format of
+/// write_mix_json and the "mix" journal line (minus the kind key).
+std::string mix_result_to_json(const MixResult& r, bool include_fault) {
+  std::string out = "{\"design\":\"" + json_escape(r.design) +
+                    "\",\"mix\":\"" + json_escape(r.mix) +
+                    "\",\"weighted_speedup\":" +
+                    json_double(r.weighted_speedup) +
+                    ",\"hmean_speedup\":" + json_double(r.hmean_speedup) +
+                    ",\"max_slowdown\":" + json_double(r.max_slowdown) +
+                    ",\"aggregate\":" +
+                    result_to_json(r.aggregate, include_fault) +
+                    ",\"cores\":[";
+  for (std::size_t c = 0; c < r.cores.size(); ++c) {
+    const MixCoreResult& core = r.cores[c];
+    if (c) out += ',';
+    out += "{\"core\":" + std::to_string(core.perf.core) +
+           ",\"workload\":\"" + json_escape(core.perf.workload) +
+           "\",\"instructions\":" + std::to_string(core.perf.instructions) +
+           ",\"misses\":" + std::to_string(core.perf.misses) +
+           ",\"ipc\":" + json_double(core.perf.ipc) +
+           ",\"alone_ipc\":" + json_double(core.alone_ipc) +
+           ",\"speedup\":" + json_double(core.speedup) +
+           ",\"hbm_serve_rate\":" + json_double(core.perf.hbm_serve_rate) +
+           ",\"mean_latency_ns\":" + json_double(core.perf.mean_latency_ns) +
+           ",\"latency_p50_ns\":" + json_double(core.perf.latency_p50_ns) +
+           ",\"latency_p99_ns\":" + json_double(core.perf.latency_p99_ns) +
+           ",\"hbm_bytes\":" + std::to_string(core.perf.hbm_bytes) +
+           ",\"dram_bytes\":" + std::to_string(core.perf.dram_bytes) + '}';
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
-std::size_t ResultJournal::load(std::istream& is) {
-  std::size_t restored = 0;
+ResultJournal::LoadStats ResultJournal::load_stats(std::istream& is) {
+  LoadStats st;
   std::string line_text;
   while (std::getline(is, line_text)) {
     if (line_text.empty()) continue;
     JsonValue v;
-    if (!json_parse(line_text, v) || !v.is_object()) continue;
-    RunResult r;
-    r.design = v.get_string("design");
-    r.workload = v.get_string("workload");
-    if (r.design.empty() || r.workload.empty()) continue;
-    r.instructions = static_cast<u64>(v.get_number("instructions"));
-    r.misses = static_cast<u64>(v.get_number("misses"));
-    r.ipc = v.get_number("ipc");
-    r.hbm_bytes = static_cast<u64>(v.get_number("hbm_bytes"));
-    r.dram_bytes = static_cast<u64>(v.get_number("dram_bytes"));
-    r.energy_mj = v.get_number("energy_mj");
-    r.hbm_serve_rate = v.get_number("hbm_serve_rate");
-    r.mean_latency_ns = v.get_number("mean_latency_ns");
-    r.latency_p50_ns = v.get_number("latency_p50_ns");
-    r.latency_p90_ns = v.get_number("latency_p90_ns");
-    r.latency_p99_ns = v.get_number("latency_p99_ns");
-    r.latency_p999_ns = v.get_number("latency_p999_ns");
-    r.mal_fraction = v.get_number("mal_fraction");
-    r.overfetch = v.get_number("overfetch");
-    r.page_faults = static_cast<u64>(v.get_number("page_faults"));
-    r.metadata_sram_bytes =
-        static_cast<u64>(v.get_number("metadata_sram_bytes"));
-    const auto load_classes =
-        [&v](const char* key,
-             std::array<u64, mem::kTrafficClassCount>& out) {
-          const JsonValue* obj = v.find(key);
-          if (!obj || !obj->is_object()) return;
-          for (std::size_t c = 0; c < mem::kTrafficClassCount; ++c) {
-            out[c] = static_cast<u64>(obj->get_number(
-                mem::to_string(static_cast<mem::TrafficClass>(c))));
-          }
-        };
-    load_classes("hbm_class_bytes", r.hbm_class_bytes);
-    load_classes("dram_class_bytes", r.dram_class_bytes);
-    rows_.push_back(std::move(r));
-    ++restored;
+    if (!json_parse(line_text, v) || !v.is_object()) {
+      ++st.malformed;
+      continue;
+    }
+    const std::string kind = v.get_string("kind", "run");
+    if (kind == "run") {
+      RunResult r;
+      if (!parse_run_result(v, r)) {
+        ++st.malformed;
+        continue;
+      }
+      rows_.push_back(std::move(r));
+    } else if (kind == "alone") {
+      AloneRow a;
+      a.design = v.get_string("design");
+      a.workload = v.get_string("workload");
+      a.ipc = v.get_number("ipc");
+      if (a.design.empty() || a.workload.empty()) {
+        ++st.malformed;
+        continue;
+      }
+      alone_rows_.push_back(std::move(a));
+    } else if (kind == "mix") {
+      MixResult m;
+      m.design = v.get_string("design");
+      m.mix = v.get_string("mix");
+      if (m.design.empty() || m.mix.empty()) {
+        ++st.malformed;
+        continue;
+      }
+      m.weighted_speedup = v.get_number("weighted_speedup");
+      m.hmean_speedup = v.get_number("hmean_speedup");
+      m.max_slowdown = v.get_number("max_slowdown");
+      const JsonValue* agg = v.find("aggregate");
+      if (!agg || !agg->is_object() || !parse_run_result(*agg, m.aggregate)) {
+        ++st.malformed;
+        continue;
+      }
+      if (const JsonValue* cores = v.find("cores");
+          cores && cores->type == JsonValue::Type::kArray) {
+        for (const JsonValue& cv : cores->array) {
+          if (!cv.is_object()) continue;
+          MixCoreResult core;
+          core.perf.core = static_cast<u32>(cv.get_number("core"));
+          core.perf.workload = cv.get_string("workload");
+          core.perf.instructions =
+              static_cast<u64>(cv.get_number("instructions"));
+          core.perf.misses = static_cast<u64>(cv.get_number("misses"));
+          core.perf.ipc = cv.get_number("ipc");
+          core.alone_ipc = cv.get_number("alone_ipc");
+          core.speedup = cv.get_number("speedup");
+          core.perf.hbm_serve_rate = cv.get_number("hbm_serve_rate");
+          core.perf.mean_latency_ns = cv.get_number("mean_latency_ns");
+          core.perf.latency_p50_ns = cv.get_number("latency_p50_ns");
+          core.perf.latency_p99_ns = cv.get_number("latency_p99_ns");
+          core.perf.hbm_bytes = static_cast<u64>(cv.get_number("hbm_bytes"));
+          core.perf.dram_bytes =
+              static_cast<u64>(cv.get_number("dram_bytes"));
+          m.cores.push_back(std::move(core));
+        }
+      }
+      mix_rows_.push_back(std::move(m));
+    } else {
+      ++st.malformed;
+      continue;
+    }
+    ++st.restored;
   }
-  return restored;
+  return st;
 }
 
 const RunResult* ResultJournal::find(const std::string& design,
@@ -120,8 +249,39 @@ const RunResult* ResultJournal::find(const std::string& design,
   return nullptr;
 }
 
+const double* ResultJournal::find_alone(const std::string& design,
+                                        const std::string& workload) const {
+  for (auto it = alone_rows_.rbegin(); it != alone_rows_.rend(); ++it) {
+    if (it->design == design && it->workload == workload) return &it->ipc;
+  }
+  return nullptr;
+}
+
+const MixResult* ResultJournal::find_mix(const std::string& design,
+                                         const std::string& mix) const {
+  for (auto it = mix_rows_.rbegin(); it != mix_rows_.rend(); ++it) {
+    if (it->design == design && it->mix == mix) return &*it;
+  }
+  return nullptr;
+}
+
 std::string ResultJournal::line(const RunResult& r) {
-  return result_to_json(r);
+  return result_to_json(r, has_fault_fields(r));
+}
+
+std::string ResultJournal::alone_line(const std::string& design,
+                                      const std::string& workload,
+                                      double ipc) {
+  return "{\"kind\":\"alone\",\"design\":\"" + json_escape(design) +
+         "\",\"workload\":\"" + json_escape(workload) +
+         "\",\"ipc\":" + json_double(ipc) + '}';
+}
+
+std::string ResultJournal::mix_line(const MixResult& r) {
+  std::string out = "{\"kind\":\"mix\",";
+  // Splice the kind key into the shared mix-object serialization.
+  out += mix_result_to_json(r, has_fault_fields(r.aggregate)).substr(1);
+  return out;
 }
 
 ExperimentRunner::ExperimentRunner(SystemConfig cfg) : cfg_(std::move(cfg)) {}
@@ -215,6 +375,7 @@ void ExperimentRunner::run_cells(
     std::size_t done = 0;
     for (std::size_t w = 0; w < workloads.size(); ++w) {
       for (std::size_t d = 0; d < n_designs; ++d) {
+        if (opts.cancel && opts.cancel()) return;
         if (const RunResult* prior = restored_cell(d, w)) {
           if (opts.progress) report(++done);
           results_.push_back(*prior);
@@ -242,6 +403,7 @@ void ExperimentRunner::run_cells(
   std::vector<RunResult> slots(total);
   std::vector<char> ready(total, 0);
   std::vector<char> restored(total, 0);
+  std::vector<char> skipped(total, 0);
   std::mutex mu;
   std::size_t committed = 0;
   std::size_t completed = 0;
@@ -252,9 +414,15 @@ void ExperimentRunner::run_cells(
     const std::size_t d = i % n_designs;
     RunResult r;
     bool from_journal = false;
+    bool skip = false;
     if (const RunResult* prior = restored_cell(d, w)) {
       r = *prior;
       from_journal = true;
+    } else if (opts.cancel && opts.cancel()) {
+      // Cancelled before this cell started: commit an empty marker so the
+      // in-order drain below still advances past it (cells that were
+      // already running finish and journal normally).
+      skip = true;
     } else {
       r = cell(*systems[worker], d, workloads[w], instr[w]);
     }
@@ -263,12 +431,15 @@ void ExperimentRunner::run_cells(
     slots[i] = std::move(r);
     ready[i] = 1;
     restored[i] = from_journal ? 1 : 0;
+    skipped[i] = skip ? 1 : 0;
     if (opts.progress) report(++completed);
     while (committed < total && ready[committed]) {
-      if (opts.on_result && !restored[committed]) {
-        opts.on_result(slots[committed]);
+      if (!skipped[committed]) {
+        if (opts.on_result && !restored[committed]) {
+          opts.on_result(slots[committed]);
+        }
+        results_.push_back(std::move(slots[committed]));
       }
-      results_.push_back(std::move(slots[committed]));
       ++committed;
     }
   });
@@ -277,10 +448,6 @@ void ExperimentRunner::run_cells(
 void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
                                       const std::vector<MixSpec>& mixes,
                                       const RunMatrixOptions& opts) {
-  if (opts.resume) {
-    throw std::invalid_argument(
-        "mix matrices do not support checkpoint resume");
-  }
   if (designs.empty() || mixes.empty()) return;
 
   // Every workload named by any mix, in first-seen order.
@@ -307,28 +474,45 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
 
   // Phase 1: alone baselines — one core, observability off (baselines feed
   // only the speedup denominators; their artifacts are never exported).
+  // Journaled "alone" lines from a resumed run are restored up front.
   std::vector<std::pair<std::string, std::string>> pairs;
   for (const auto& d : designs) {
     for (const auto& w : uniq) {
-      if (!alone_ipc_.count({d, w})) pairs.emplace_back(d, w);
+      if (alone_ipc_.count({d, w})) continue;
+      if (opts.resume) {
+        if (const double* prior = opts.resume->find_alone(d, w)) {
+          alone_ipc_[{d, w}] = *prior;
+          continue;
+        }
+      }
+      pairs.emplace_back(d, w);
     }
   }
   SystemConfig alone_cfg = cfg_;
   alone_cfg.core.cores = 1;
   alone_cfg.obs = ObservabilityConfig{};
 
+  // Commits one finished baseline: the cache feeds phase 2, on_alone
+  // checkpoints it. Cancelled pairs are never committed (and never
+  // journaled), so a resumed run re-simulates exactly those.
+  auto commit_alone = [&](std::size_t i, double ipc) {
+    alone_ipc_[pairs[i]] = ipc;
+    if (opts.on_alone) opts.on_alone(pairs[i].first, pairs[i].second, ipc);
+  };
+
   unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::default_concurrency();
   const unsigned alone_jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, pairs.size()));
-  std::vector<double> alone(pairs.size(), 0);
   if (alone_jobs <= 1) {
     System system(alone_cfg);
     for (std::size_t i = 0; i < pairs.size(); ++i) {
-      alone[i] = system
-                     .run(pairs[i].first,
-                          trace::WorkloadProfile::by_name(pairs[i].second),
-                          budget)
-                     .ipc;
+      if (opts.cancel && opts.cancel()) break;
+      commit_alone(
+          i, system
+                 .run(pairs[i].first,
+                      trace::WorkloadProfile::by_name(pairs[i].second),
+                      budget)
+                 .ipc);
       if (opts.progress) {
         std::fprintf(stderr, "[mix] alone %zu/%zu baselines\n", i + 1,
                      pairs.size());
@@ -339,35 +523,56 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
     for (unsigned j = 0; j < alone_jobs; ++j) {
       systems.push_back(std::make_unique<System>(alone_cfg));
     }
+    std::vector<double> alone(pairs.size(), 0);
+    std::vector<char> ready(pairs.size(), 0);
+    std::vector<char> skipped(pairs.size(), 0);
     std::mutex mu;
+    std::size_t committed = 0;
     std::size_t done = 0;
     ThreadPool pool(alone_jobs);
     pool.parallel_for(pairs.size(), [&](std::size_t i, unsigned worker) {
-      const double ipc =
-          systems[worker]
-              ->run(pairs[i].first,
-                    trace::WorkloadProfile::by_name(pairs[i].second), budget)
-              .ipc;
+      double ipc = 0;
+      bool skip = true;
+      if (!(opts.cancel && opts.cancel())) {
+        ipc = systems[worker]
+                  ->run(pairs[i].first,
+                        trace::WorkloadProfile::by_name(pairs[i].second),
+                        budget)
+                  .ipc;
+        skip = false;
+      }
       std::lock_guard<std::mutex> lk(mu);
       alone[i] = ipc;
+      ready[i] = 1;
+      skipped[i] = skip ? 1 : 0;
       if (opts.progress) {
         std::fprintf(stderr, "[mix] alone %zu/%zu baselines\n", ++done,
                      pairs.size());
       }
+      while (committed < pairs.size() && ready[committed]) {
+        if (!skipped[committed]) commit_alone(committed, alone[committed]);
+        ++committed;
+      }
     });
-  }
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    alone_ipc_[pairs[i]] = alone[i];
   }
 
   // Phase 2: co-runs — mix-major, design-minor cells committed through
   // indexed slots in matrix order (same discipline as run_cells), so
   // mix_results_ / results_ and every writer are --jobs independent.
+  // Journaled "mix" cells are restored without re-simulation (and without
+  // re-firing the checkpoint callbacks).
   const std::size_t total = mixes.size() * designs.size();
   const unsigned mix_jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, total));
-  auto commit = [&](MixResult&& r) {
-    if (opts.on_result) opts.on_result(r.aggregate);
+  auto restored_mix = [&](std::size_t d, std::size_t m) -> const MixResult* {
+    if (!opts.resume) return nullptr;
+    return opts.resume->find_mix(designs[d], mixes[m].name);
+  };
+  auto commit = [&](MixResult&& r, bool from_journal) {
+    if (!from_journal) {
+      if (opts.on_result) opts.on_result(r.aggregate);
+      if (opts.on_mix_result) opts.on_mix_result(r);
+    }
     results_.push_back(r.aggregate);
     mix_results_.push_back(std::move(r));
   };
@@ -376,8 +581,14 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
     System system(cfg_);
     for (std::size_t m = 0; m < mixes.size(); ++m) {
       for (std::size_t d = 0; d < designs.size(); ++d) {
-        commit(run_mix_cell(system, designs[d], mixes[m], budget,
-                            alone_ipc_));
+        if (const MixResult* prior = restored_mix(d, m)) {
+          commit(MixResult(*prior), /*from_journal=*/true);
+        } else {
+          if (opts.cancel && opts.cancel()) return;
+          commit(run_mix_cell(system, designs[d], mixes[m], budget,
+                              alone_ipc_),
+                 /*from_journal=*/false);
+        }
         if (opts.progress) {
           std::fprintf(stderr, "[mix] %zu/%zu co-runs\n",
                        m * designs.size() + d + 1, total);
@@ -393,6 +604,8 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
   }
   std::vector<MixResult> slots(total);
   std::vector<char> ready(total, 0);
+  std::vector<char> restored(total, 0);
+  std::vector<char> skipped(total, 0);
   std::mutex mu;
   std::size_t committed = 0;
   std::size_t completed = 0;
@@ -400,17 +613,30 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
   pool.parallel_for(total, [&](std::size_t i, unsigned worker) {
     const std::size_t m = i / designs.size();
     const std::size_t d = i % designs.size();
-    MixResult r =
-        run_mix_cell(*systems[worker], designs[d], mixes[m], budget,
-                     alone_ipc_);
+    MixResult r;
+    bool from_journal = false;
+    bool skip = false;
+    if (const MixResult* prior = restored_mix(d, m)) {
+      r = *prior;
+      from_journal = true;
+    } else if (opts.cancel && opts.cancel()) {
+      skip = true;
+    } else {
+      r = run_mix_cell(*systems[worker], designs[d], mixes[m], budget,
+                       alone_ipc_);
+    }
     std::lock_guard<std::mutex> lk(mu);
     slots[i] = std::move(r);
     ready[i] = 1;
+    restored[i] = from_journal ? 1 : 0;
+    skipped[i] = skip ? 1 : 0;
     if (opts.progress) {
       std::fprintf(stderr, "[mix] %zu/%zu co-runs\n", ++completed, total);
     }
     while (committed < total && ready[committed]) {
-      commit(std::move(slots[committed]));
+      if (!skipped[committed]) {
+        commit(std::move(slots[committed]), restored[committed] != 0);
+      }
       ++committed;
     }
   });
@@ -443,34 +669,11 @@ void ExperimentRunner::write_mix_csv(std::ostream& os) const {
 }
 
 void ExperimentRunner::write_mix_json(std::ostream& os) const {
+  const bool fault = cfg_.fault.enabled();
   os << "[\n";
   for (std::size_t i = 0; i < mix_results_.size(); ++i) {
-    const MixResult& r = mix_results_[i];
-    os << "  {\"design\":\"" << json_escape(r.design) << "\",\"mix\":\""
-       << json_escape(r.mix)
-       << "\",\"weighted_speedup\":" << json_double(r.weighted_speedup)
-       << ",\"hmean_speedup\":" << json_double(r.hmean_speedup)
-       << ",\"max_slowdown\":" << json_double(r.max_slowdown)
-       << ",\"aggregate\":" << result_to_json(r.aggregate)
-       << ",\"cores\":[";
-    for (std::size_t c = 0; c < r.cores.size(); ++c) {
-      const MixCoreResult& core = r.cores[c];
-      if (c) os << ',';
-      os << "{\"core\":" << core.perf.core << ",\"workload\":\""
-         << json_escape(core.perf.workload)
-         << "\",\"instructions\":" << core.perf.instructions
-         << ",\"misses\":" << core.perf.misses
-         << ",\"ipc\":" << json_double(core.perf.ipc)
-         << ",\"alone_ipc\":" << json_double(core.alone_ipc)
-         << ",\"speedup\":" << json_double(core.speedup)
-         << ",\"hbm_serve_rate\":" << json_double(core.perf.hbm_serve_rate)
-         << ",\"mean_latency_ns\":" << json_double(core.perf.mean_latency_ns)
-         << ",\"latency_p50_ns\":" << json_double(core.perf.latency_p50_ns)
-         << ",\"latency_p99_ns\":" << json_double(core.perf.latency_p99_ns)
-         << ",\"hbm_bytes\":" << core.perf.hbm_bytes
-         << ",\"dram_bytes\":" << core.perf.dram_bytes << '}';
-    }
-    os << "]}" << (i + 1 < mix_results_.size() ? "," : "") << '\n';
+    os << "  " << mix_result_to_json(mix_results_[i], fault)
+       << (i + 1 < mix_results_.size() ? "," : "") << '\n';
   }
   os << "]\n";
 }
@@ -502,32 +705,56 @@ std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
 }
 
 void ExperimentRunner::write_csv(std::ostream& os) const {
-  TextTable t({"design", "workload", "instructions", "misses", "ipc",
-               "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
-               "mean_latency_ns", "latency_p50_ns", "latency_p90_ns",
-               "latency_p99_ns", "latency_p999_ns", "mal_fraction",
-               "overfetch", "page_faults", "metadata_sram_bytes"});
+  // The reliability columns appear only when fault injection is configured,
+  // so fault-free CSVs keep their historical column set byte-for-byte.
+  const bool fault = cfg_.fault.enabled();
+  std::vector<std::string> header = {
+      "design", "workload", "instructions", "misses", "ipc",
+      "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
+      "mean_latency_ns", "latency_p50_ns", "latency_p90_ns",
+      "latency_p99_ns", "latency_p999_ns", "mal_fraction",
+      "overfetch", "page_faults", "metadata_sram_bytes"};
+  if (fault) {
+    header.insert(header.end(),
+                  {"ce_count", "ue_count", "due_retries", "due_unrecovered",
+                   "due_data_loss", "retired_rows", "retired_frames",
+                   "degraded_sets"});
+  }
+  TextTable t(header);
   for (const auto& r : results_) {
-    t.add_row({r.design, r.workload, std::to_string(r.instructions),
-               std::to_string(r.misses), fmt_double(r.ipc, 4),
-               std::to_string(r.hbm_bytes), std::to_string(r.dram_bytes),
-               fmt_double(r.energy_mj, 4), fmt_double(r.hbm_serve_rate, 4),
-               fmt_double(r.mean_latency_ns, 2),
-               fmt_double(r.latency_p50_ns, 2),
-               fmt_double(r.latency_p90_ns, 2),
-               fmt_double(r.latency_p99_ns, 2),
-               fmt_double(r.latency_p999_ns, 2),
-               fmt_double(r.mal_fraction, 4), fmt_double(r.overfetch, 4),
-               std::to_string(r.page_faults),
-               std::to_string(r.metadata_sram_bytes)});
+    std::vector<std::string> row = {
+        r.design, r.workload, std::to_string(r.instructions),
+        std::to_string(r.misses), fmt_double(r.ipc, 4),
+        std::to_string(r.hbm_bytes), std::to_string(r.dram_bytes),
+        fmt_double(r.energy_mj, 4), fmt_double(r.hbm_serve_rate, 4),
+        fmt_double(r.mean_latency_ns, 2),
+        fmt_double(r.latency_p50_ns, 2),
+        fmt_double(r.latency_p90_ns, 2),
+        fmt_double(r.latency_p99_ns, 2),
+        fmt_double(r.latency_p999_ns, 2),
+        fmt_double(r.mal_fraction, 4), fmt_double(r.overfetch, 4),
+        std::to_string(r.page_faults),
+        std::to_string(r.metadata_sram_bytes)};
+    if (fault) {
+      row.insert(row.end(),
+                 {std::to_string(r.ce_count), std::to_string(r.ue_count),
+                  std::to_string(r.due_retries),
+                  std::to_string(r.due_unrecovered),
+                  std::to_string(r.due_data_loss),
+                  std::to_string(r.retired_rows),
+                  std::to_string(r.retired_frames),
+                  std::to_string(r.degraded_sets)});
+    }
+    t.add_row(row);
   }
   t.print_csv(os);
 }
 
 void ExperimentRunner::write_json(std::ostream& os) const {
+  const bool fault = cfg_.fault.enabled();
   os << "[\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
-    os << "  " << result_to_json(results_[i])
+    os << "  " << result_to_json(results_[i], fault)
        << (i + 1 < results_.size() ? "," : "") << '\n';
   }
   os << "]\n";

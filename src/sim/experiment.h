@@ -25,24 +25,59 @@ namespace bb::sim {
 /// Checkpoint journal for long sweeps: one JSON object per completed cell,
 /// appended as cells finish (wire RunMatrixOptions::on_result to
 /// append_line on an O_APPEND stream). On restart, load() the file and pass
-/// the journal via RunMatrixOptions::resume — finished (design, workload)
-/// cells are restored from it instead of re-simulated.
+/// the journal via RunMatrixOptions::resume — finished cells are restored
+/// from it instead of re-simulated.
+///
+/// Three line kinds share the file, distinguished by a "kind" key:
+///   * plain RunResult lines (no kind, or "run") for matrix cells,
+///   * "alone" lines caching a mix matrix's single-core IPC baselines,
+///   * "mix" lines carrying a full (design, mix) MixResult.
 class ResultJournal {
  public:
+  struct LoadStats {
+    std::size_t restored = 0;   ///< well-formed lines restored
+    std::size_t malformed = 0;  ///< unparseable or incomplete lines skipped
+  };
+
   /// Parses journal lines. Malformed lines (e.g. a truncated final line
-  /// from a killed run) are skipped, not fatal. Returns lines restored.
-  std::size_t load(std::istream& is);
+  /// from a killed run) are counted and skipped, never fatal.
+  LoadStats load_stats(std::istream& is);
+
+  /// Back-compat wrapper around load_stats(); returns lines restored.
+  std::size_t load(std::istream& is) { return load_stats(is).restored; }
 
   const RunResult* find(const std::string& design,
                         const std::string& workload) const;
-  std::size_t size() const { return rows_.size(); }
+  /// Journaled alone-run baseline IPC, or nullptr when absent.
+  const double* find_alone(const std::string& design,
+                           const std::string& workload) const;
+  /// Journaled (design, mix) co-run cell, or nullptr when absent.
+  const MixResult* find_mix(const std::string& design,
+                            const std::string& mix) const;
+  std::size_t size() const {
+    return rows_.size() + alone_rows_.size() + mix_rows_.size();
+  }
 
-  /// Serializes one result as a single journal line (no newline). The
-  /// line is the same JSON object write_json emits for the run.
+  /// Serializes one result as a single journal line (no newline). The line
+  /// is the JSON object write_json emits for the run; the reliability
+  /// fields are included only when any is nonzero.
   static std::string line(const RunResult& r);
+  /// One alone-baseline journal line (kind "alone").
+  static std::string alone_line(const std::string& design,
+                                const std::string& workload, double ipc);
+  /// One co-run cell journal line (kind "mix") — the same object
+  /// write_mix_json emits for the cell.
+  static std::string mix_line(const MixResult& r);
 
  private:
+  struct AloneRow {
+    std::string design;
+    std::string workload;
+    double ipc = 0;
+  };
   std::vector<RunResult> rows_;
+  std::vector<AloneRow> alone_rows_;
+  std::vector<MixResult> mix_rows_;
 };
 
 /// Execution options for run_matrix / run_bumblebee_matrix.
@@ -67,6 +102,18 @@ struct RunMatrixOptions {
   /// Checkpoint journal from an earlier (interrupted) run of the same
   /// matrix: cells found in it are restored, not re-simulated.
   const ResultJournal* resume = nullptr;
+  /// Cooperative cancellation, polled between cells (e.g. a SIGINT flag).
+  /// Once it returns true no new cell starts; parallel cells already
+  /// running finish and still commit, keeping the journal well-formed.
+  std::function<bool()> cancel;
+  /// Mix matrices only: called per freshly simulated alone baseline
+  /// (design, workload, ipc) in pair order — wire to
+  /// ResultJournal::alone_line for checkpointing.
+  std::function<void(const std::string&, const std::string&, double)>
+      on_alone;
+  /// Mix matrices only: called per freshly simulated co-run cell in matrix
+  /// order (alongside on_result, which sees only the aggregate RunResult).
+  std::function<void(const MixResult&)> on_mix_result;
 };
 
 class ExperimentRunner {
@@ -108,8 +155,9 @@ class ExperimentRunner {
   /// opts.instructions is the per-core budget; 0 derives one shared budget
   /// as the max default_instructions_for over every workload named by the
   /// mixes. opts.on_result fires per committed co-run aggregate.
-  /// Checkpoint resume is not supported for mixes (opts.resume must be
-  /// null; throws std::invalid_argument otherwise).
+  /// Checkpoint resume: opts.resume restores journaled "alone" baselines
+  /// and "mix" cells (see ResultJournal) instead of re-simulating them;
+  /// callbacks are skipped for restored entries.
   void run_mix_matrix(const std::vector<std::string>& designs,
                       const std::vector<MixSpec>& mixes,
                       const RunMatrixOptions& opts);

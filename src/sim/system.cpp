@@ -12,11 +12,25 @@ namespace bb::sim {
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {}
 
+void System::make_devices() {
+  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
+  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  hbm_faults_.reset();
+  dram_faults_.reset();
+  if (cfg_.fault.enabled()) {
+    hbm_faults_ = std::make_unique<fault::DeviceFaultState>(
+        cfg_.fault, /*is_hbm=*/true, cfg_.seed);
+    dram_faults_ = std::make_unique<fault::DeviceFaultState>(
+        cfg_.fault, /*is_hbm=*/false, cfg_.seed);
+    hbm_->attach_faults(hbm_faults_.get(), "hbm");
+    dram_->attach_faults(dram_faults_.get(), "dram");
+  }
+}
+
 RunResult System::run(const std::string& design,
                       const trace::WorkloadProfile& workload,
                       u64 instructions) {
-  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
-  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  make_devices();
   hmmc_ = baselines::make_design(design, *hbm_, *dram_, cfg_.paging);
   return run_current(workload, instructions);
 }
@@ -24,8 +38,7 @@ RunResult System::run(const std::string& design,
 RunResult System::run_bumblebee(const bumblebee::BumblebeeConfig& cfg,
                                 const trace::WorkloadProfile& workload,
                                 u64 instructions) {
-  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
-  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  make_devices();
   hmmc_ = std::make_unique<bumblebee::BumblebeeController>(cfg, *hbm_, *dram_,
                                                            cfg_.paging);
   return run_current(workload, instructions);
@@ -35,8 +48,7 @@ RunResult System::run_mix(const std::string& design,
                           const std::vector<CoreLane>& lanes,
                           const std::string& mix_name,
                           u64 per_core_instructions) {
-  hbm_ = std::make_unique<mem::DramDevice>(cfg_.hbm);
-  dram_ = std::make_unique<mem::DramDevice>(cfg_.dram);
+  make_devices();
   hmmc_ = baselines::make_design(design, *hbm_, *dram_, cfg_.paging);
   return run_lanes_current(
       lanes, per_core_instructions * std::max<u64>(1, lanes.size()),
@@ -108,6 +120,17 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
   out.overfetch = ms.overfetch_fraction();
   out.page_faults = hmmc_->paging().stats().faults;
   out.metadata_sram_bytes = hmmc_->metadata_sram_bytes();
+
+  out.ce_count = hs.ce_count + ds.ce_count;
+  out.ue_count = hs.ue_count + ds.ue_count;
+  out.due_retries = ms.due_retries;
+  out.due_unrecovered = ms.due_unrecovered;
+  out.due_data_loss = ms.due_data_loss;
+  if (hbm_faults_) out.retired_rows += hbm_faults_->retired_rows();
+  if (dram_faults_) out.retired_rows += dram_faults_->retired_rows();
+  const hmm::FaultPosture posture = hmmc_->fault_posture();
+  out.retired_frames = posture.retired_frames;
+  out.degraded_sets = posture.degraded_sets;
 
   if (cfg_.obs.enabled()) {
     auto art = std::make_shared<RunArtifacts>();

@@ -48,6 +48,10 @@ struct SystemConfig {
   /// simulates billions of instructions per SimPoint slice).
   double warmup_ratio = 1.0;
   ObservabilityConfig obs;
+  /// Fault injection + ECC model (disabled by default — all rates zero, so
+  /// fault-free runs build no fault state and stay bit-identical to the
+  /// pre-fault golden outputs). See src/fault/fault.h.
+  fault::FaultConfig fault;
 };
 
 /// Per-run observability payload (epoch rows + trace events), buffered in
@@ -101,6 +105,16 @@ struct RunResult {
   double overfetch = 0;     ///< unused fraction of fetched blocks
   u64 page_faults = 0;
   u64 metadata_sram_bytes = 0;
+
+  // Reliability outcome of the run (all zero when fault injection is off).
+  u64 ce_count = 0;         ///< ECC-corrected errors (both devices)
+  u64 ue_count = 0;         ///< detected-uncorrectable errors (both devices)
+  u64 due_retries = 0;      ///< DUE retry attempts issued by the controller
+  u64 due_unrecovered = 0;  ///< DUEs that exhausted their retry budget
+  u64 due_data_loss = 0;    ///< unrecovered reads with no clean copy left
+  u64 retired_rows = 0;     ///< device rows retired after repeated CEs
+  u64 retired_frames = 0;   ///< HBM frames mapped out by the design
+  u64 degraded_sets = 0;    ///< remapping sets running in degraded mode
 
   // Per-class traffic split (indexes follow mem::TrafficClass).
   std::array<u64, mem::kTrafficClassCount> hbm_class_bytes{};
@@ -157,10 +171,16 @@ class System {
                               u64 total_instructions,
                               const std::string& workload_name,
                               bool attach_core_perf);
+  /// Constructs fresh devices for a run and, when cfg_.fault is enabled,
+  /// fresh per-device fault state seeded from the run seed (fault-free runs
+  /// attach nothing and take the historical code path).
+  void make_devices();
 
   SystemConfig cfg_;
   std::unique_ptr<mem::DramDevice> hbm_;
   std::unique_ptr<mem::DramDevice> dram_;
+  std::unique_ptr<fault::DeviceFaultState> hbm_faults_;
+  std::unique_ptr<fault::DeviceFaultState> dram_faults_;
   std::unique_ptr<hmm::HybridMemoryController> hmmc_;
 };
 

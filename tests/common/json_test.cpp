@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/rng.h"
+
 namespace bb {
 namespace {
 
@@ -68,6 +72,81 @@ TEST(JsonParse, AcceptsSurroundingWhitespace) {
   JsonValue v;
   ASSERT_TRUE(json_parse("  { \"a\" : 1 }  ", v));
   EXPECT_DOUBLE_EQ(v.get_number("a"), 1.0);
+}
+
+// Every proper prefix of a valid document must be rejected (journal files
+// end in torn lines exactly like these after a crash or SIGINT).
+TEST(JsonParseFuzz, RejectsEveryTruncation) {
+  const std::string doc =
+      R"({"design":"Bumblebee","cores":[{"ipc":1.5},{"ipc":0.25}],)"
+      R"("ok":true,"note":"a\"b\\c"})";
+  JsonValue probe;
+  ASSERT_TRUE(json_parse(doc, probe));
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    JsonValue v;
+    EXPECT_FALSE(json_parse(doc.substr(0, len), v)) << "prefix len " << len;
+  }
+}
+
+// Random byte mutations of a valid document — including bytes that are not
+// valid UTF-8 (0x80..0xFF) — must parse or fail cleanly, never crash.
+TEST(JsonParseFuzz, MutatedDocumentsNeverCrash) {
+  const std::string doc =
+      R"({"k":[1,2.5,-3e2,true,false,null,"s"],"o":{"n":{"m":[[]]}}})";
+  SplitMix64 rng(0x1505);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string mutated = doc;
+    const u64 edits = 1 + rng.next() % 4;
+    for (u64 e = 0; e < edits; ++e) {
+      mutated[rng.next() % mutated.size()] =
+          static_cast<char>(rng.next() & 0xFF);
+    }
+    JsonValue v;
+    std::string err;
+    (void)json_parse(mutated, v, &err);  // outcome is free; crashing is not
+  }
+}
+
+// Pure byte soup, not derived from any valid document.
+TEST(JsonParseFuzz, GarbageInputNeverCrashes) {
+  SplitMix64 rng(0xBADF00D);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::string garbage;
+    const u64 len = rng.next() % 64;
+    for (u64 i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    JsonValue v;
+    (void)json_parse(garbage, v);
+  }
+}
+
+TEST(JsonParseFuzz, DeeplyNestedInputFailsInsteadOfOverflowing) {
+  // Past the parser's depth cap (64) the answer must be a clean failure,
+  // not a stack overflow.
+  const std::string deep_array(1000, '[');
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(json_parse(deep_array, v, &err));
+  EXPECT_FALSE(json_parse(deep_array + std::string(1000, ']'), v, &err));
+
+  std::string deep_object;
+  for (int i = 0; i < 200; ++i) deep_object += "{\"a\":";
+  EXPECT_FALSE(json_parse(deep_object, v));
+
+  // At depth well under the cap, nesting still parses.
+  std::string ok = std::string(32, '[') + "1" + std::string(32, ']');
+  EXPECT_TRUE(json_parse(ok, v));
+}
+
+TEST(JsonParseFuzz, NonUtf8BytesInsideStringsDoNotCrash) {
+  std::string doc = "{\"s\":\"";
+  doc.push_back(static_cast<char>(0xFF));
+  doc.push_back(static_cast<char>(0xC3));
+  doc.push_back(static_cast<char>(0x28));  // invalid 2-byte sequence
+  doc += "\"}";
+  JsonValue v;
+  (void)json_parse(doc, v);  // accept or reject; must not crash
 }
 
 }  // namespace

@@ -1,0 +1,238 @@
+// Fault model unit tests: profile/spec parsing (including fuzz-style
+// negative cases), deterministic classification, population statistics,
+// row-retirement lifecycle, and DramDevice ECC integration.
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.h"
+#include "mem/dram_device.h"
+
+namespace bb::fault {
+namespace {
+
+TEST(FaultConfigTest, NoneProfileDisablesEverything) {
+  const FaultConfig cfg = FaultConfig::profile("none", 0.5);
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_FALSE(cfg.hbm.any());
+  EXPECT_FALSE(cfg.dram.any());
+}
+
+TEST(FaultConfigTest, NamedProfilesSetTheirPopulation) {
+  const FaultConfig t = FaultConfig::profile("transient", 1e-3);
+  EXPECT_DOUBLE_EQ(t.hbm.transient_per_access, 1e-3);
+  EXPECT_DOUBLE_EQ(t.dram.transient_per_access, 1e-3);
+  EXPECT_TRUE(t.enabled());
+
+  const FaultConfig s = FaultConfig::profile("stuck-rows", 0.25);
+  EXPECT_DOUBLE_EQ(s.hbm.stuck_row_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(s.hbm.transient_per_access, 0.0);
+
+  const FaultConfig b = FaultConfig::profile("dead-bank", 0.5);
+  EXPECT_DOUBLE_EQ(b.dram.dead_bank_fraction, 0.5);
+
+  const FaultConfig m = FaultConfig::profile("mixed", 1e-4, 7);
+  EXPECT_DOUBLE_EQ(m.hbm.transient_per_access, 1e-4);
+  EXPECT_DOUBLE_EQ(m.hbm.stuck_row_fraction, 1e-3);
+  EXPECT_DOUBLE_EQ(m.hbm.dead_bank_fraction, 1e-2);
+  EXPECT_EQ(m.seed, 7u);
+}
+
+TEST(FaultConfigTest, ProfileRejectsBadInput) {
+  EXPECT_THROW(FaultConfig::profile("nosuch", 1e-4), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::profile("mixed", -0.1), std::invalid_argument);
+  EXPECT_THROW(FaultConfig::profile("mixed", 1.5), std::invalid_argument);
+  EXPECT_THROW(
+      FaultConfig::profile("mixed",
+                           std::numeric_limits<double>::quiet_NaN()),
+      std::invalid_argument);
+}
+
+TEST(FaultConfigTest, ParseSpecRoundTrips) {
+  const FaultConfig a = FaultConfig::parse("mixed:1e-4:7");
+  EXPECT_DOUBLE_EQ(a.hbm.transient_per_access, 1e-4);
+  EXPECT_EQ(a.seed, 7u);
+
+  const FaultConfig b = FaultConfig::parse("transient");
+  EXPECT_DOUBLE_EQ(b.hbm.transient_per_access, 1e-4);  // default rate
+  EXPECT_EQ(b.seed, 0u);
+
+  const FaultConfig c = FaultConfig::parse("stuck-rows:0.5");
+  EXPECT_DOUBLE_EQ(c.hbm.stuck_row_fraction, 0.5);
+}
+
+TEST(FaultConfigTest, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", ":", "bogus", "mixed:abc", "mixed:1e-4:xyz", "mixed:1e-4:7:9",
+        "mixed:1e999", "mixed:-1", "mixed:2.0", "mixed:1e-4:-3",
+        "transient:", "transient:0.1:"}) {
+    EXPECT_THROW(FaultConfig::parse(bad), std::invalid_argument)
+        << "spec: \"" << bad << '"';
+  }
+}
+
+// Fuzz-style: random byte soup (including non-UTF8 and embedded colons)
+// must either parse or throw invalid_argument — never crash or hang.
+TEST(FaultConfigFuzzTest, ParseNeverCrashesOnGarbage) {
+  SplitMix64 rng(0xFA017u);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string spec;
+    const u64 len = rng.next() % 24;
+    for (u64 i = 0; i < len; ++i) {
+      spec.push_back(static_cast<char>(rng.next() & 0xFF));
+    }
+    try {
+      const FaultConfig cfg = FaultConfig::parse(spec);
+      (void)cfg.enabled();
+    } catch (const std::invalid_argument&) {
+      // expected for nearly every input
+    }
+  }
+}
+
+FaultConfig transient_cfg(double rate, double due_fraction = 0.05) {
+  FaultConfig cfg = FaultConfig::profile("transient", rate);
+  cfg.due_fraction = due_fraction;
+  return cfg;
+}
+
+TEST(FaultModelTest, SameSeedSameClassification) {
+  const FaultConfig cfg = FaultConfig::profile("mixed", 0.05, 3);
+  DeviceFaultState a(cfg, /*is_hbm=*/true, /*run_seed=*/42);
+  DeviceFaultState b(cfg, /*is_hbm=*/true, /*run_seed=*/42);
+  for (u32 ch = 0; ch < 4; ++ch) {
+    for (u32 bank = 0; bank < 8; ++bank) {
+      for (u32 row = 0; row < 16; ++row) {
+        const Tick t = static_cast<Tick>(row) * 1000;
+        const FaultEvent ea = a.classify(ch, bank, row, t);
+        const FaultEvent eb = b.classify(ch, bank, row, t);
+        EXPECT_EQ(ea.outcome, eb.outcome);
+        EXPECT_EQ(ea.kind, eb.kind);
+      }
+    }
+  }
+  EXPECT_EQ(a.retired_rows(), b.retired_rows());
+}
+
+TEST(FaultModelTest, DifferentSeedsDiffer) {
+  const FaultConfig cfg = transient_cfg(0.5);
+  DeviceFaultState a(cfg, true, 1);
+  DeviceFaultState b(cfg, true, 2);
+  u32 differ = 0;
+  for (u32 row = 0; row < 256; ++row) {
+    const FaultEvent ea = a.classify(0, 0, row, row);
+    const FaultEvent eb = b.classify(0, 0, row, row);
+    differ += (ea.outcome != eb.outcome);
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultModelTest, HbmAndDramStreamsAreIndependent) {
+  FaultConfig cfg = FaultConfig::profile("transient", 0.5);
+  DeviceFaultState hbm(cfg, true, 42);
+  DeviceFaultState dram(cfg, false, 42);
+  u32 differ = 0;
+  for (u32 row = 0; row < 256; ++row) {
+    differ += (hbm.classify(0, 0, row, row).outcome !=
+               dram.classify(0, 0, row, row).outcome);
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultModelTest, TransientRateWithinStatisticalBounds) {
+  const double rate = 0.1;
+  DeviceFaultState st(transient_cfg(rate), true, 7);
+  const u32 n = 20000;
+  u32 faults = 0;
+  for (u32 i = 0; i < n; ++i) {
+    // Distinct ticks: each access is an independent Bernoulli draw.
+    const FaultEvent e = st.classify(0, 0, i % 64, i);
+    faults += (e.outcome != EccOutcome::kClean);
+  }
+  const double observed = static_cast<double>(faults) / n;
+  EXPECT_NEAR(observed, rate, 0.02);
+}
+
+TEST(FaultModelTest, TransientDueFractionSplitsCeAndUe) {
+  DeviceFaultState st(transient_cfg(0.5, /*due_fraction=*/0.2), true, 9);
+  u32 ce = 0, ue = 0;
+  for (u32 i = 0; i < 20000; ++i) {
+    const FaultEvent e = st.classify(0, 0, i % 64, i);
+    ce += (e.outcome == EccOutcome::kCorrected);
+    ue += (e.outcome == EccOutcome::kUncorrectable);
+  }
+  ASSERT_GT(ce, 0u);
+  ASSERT_GT(ue, 0u);
+  const double due_share = static_cast<double>(ue) / (ce + ue);
+  EXPECT_NEAR(due_share, 0.2, 0.03);
+}
+
+TEST(FaultModelTest, StuckRowRetiresAfterThresholdThenServesClean) {
+  FaultConfig cfg = FaultConfig::profile("stuck-rows", 1.0);
+  cfg.retire_row_after_ces = 4;
+  DeviceFaultState st(cfg, true, 42);
+  for (u32 i = 0; i < 4; ++i) {
+    const FaultEvent e = st.classify(1, 2, 3, i);
+    EXPECT_EQ(e.outcome, EccOutcome::kCorrected);
+    EXPECT_EQ(e.kind, FaultKind::kStuckRow);
+    EXPECT_EQ(e.row_retired, i == 3);  // 4th CE crosses the threshold
+  }
+  EXPECT_EQ(st.retired_rows(), 1u);
+  // The spare row serves clean from now on.
+  for (u32 i = 4; i < 8; ++i) {
+    EXPECT_EQ(st.classify(1, 2, 3, i).outcome, EccOutcome::kClean);
+  }
+  EXPECT_EQ(st.retired_rows(), 1u);
+  // Other rows are independently stuck.
+  EXPECT_EQ(st.classify(1, 2, 4, 0).outcome, EccOutcome::kCorrected);
+}
+
+TEST(FaultModelTest, DeadBankIsAlwaysUncorrectable) {
+  const FaultConfig cfg = FaultConfig::profile("dead-bank", 1.0);
+  DeviceFaultState st(cfg, true, 42);
+  for (u32 i = 0; i < 32; ++i) {
+    const FaultEvent e = st.classify(i % 4, i % 8, i, i * 10);
+    EXPECT_EQ(e.outcome, EccOutcome::kUncorrectable);
+    EXPECT_EQ(e.kind, FaultKind::kDeadBank);
+  }
+}
+
+TEST(FaultDeviceTest, AttachedDeviceCountsCesAndAddsLatency) {
+  FaultConfig cfg = FaultConfig::profile("stuck-rows", 1.0);
+  cfg.due_fraction = 0.0;
+  cfg.retire_row_after_ces = 1000000;  // keep every access a CE
+  DeviceFaultState faults(cfg, true, 42);
+
+  mem::DramDevice clean(mem::DramTimingParams::hbm2_1gb());
+  mem::DramDevice faulty(mem::DramTimingParams::hbm2_1gb());
+  faulty.attach_faults(&faults, "hbm");
+
+  const auto rc = clean.access(0, 64, AccessType::kRead, 0);
+  const auto rf = faulty.access(0, 64, AccessType::kRead, 0);
+  EXPECT_EQ(rc.ecc, EccOutcome::kClean);
+  EXPECT_EQ(rf.ecc, EccOutcome::kCorrected);
+  EXPECT_EQ(rf.complete, rc.complete + cfg.ce_latency);
+  EXPECT_EQ(faulty.stats().ce_count, 1u);
+  EXPECT_EQ(faulty.stats().ue_count, 0u);
+  EXPECT_EQ(clean.stats().ce_count, 0u);
+}
+
+TEST(FaultDeviceTest, DeadBanksRaiseUeCounters) {
+  FaultConfig cfg = FaultConfig::profile("dead-bank", 1.0);
+  DeviceFaultState faults(cfg, false, 42);
+  mem::DramDevice dev(mem::DramTimingParams::ddr4_3200_10gb());
+  dev.attach_faults(&faults, "dram");
+  for (u64 i = 0; i < 8; ++i) {
+    EXPECT_EQ(dev.access(i * 64, 64, AccessType::kRead, 0).ecc,
+              EccOutcome::kUncorrectable);
+  }
+  EXPECT_EQ(dev.stats().ue_count, 8u);
+}
+
+}  // namespace
+}  // namespace bb::fault

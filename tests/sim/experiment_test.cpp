@@ -230,6 +230,143 @@ TEST(Experiment, ParallelOnResultFiresInMatrixOrder) {
   EXPECT_EQ(seen, expected);
 }
 
+// A mix matrix journaled through on_alone / on_mix_result must restore
+// completely: the resumed run re-simulates nothing, fires no callbacks, and
+// reproduces every export byte-for-byte.
+TEST(Experiment, MixMatrixResumesFromJournal) {
+  SystemConfig cfg = small_config();
+  const std::vector<std::string> designs = {"DRAM-only", "Bumblebee"};
+  const std::vector<MixSpec> mixes = {MixSpec::parse("mcf+lbm")};
+
+  RunMatrixOptions opts;
+  opts.jobs = 1;
+  opts.instructions = 100'000;
+
+  std::ostringstream journal_os;
+  RunMatrixOptions first_opts = opts;
+  first_opts.on_alone = [&](const std::string& d, const std::string& w,
+                            double ipc) {
+    journal_os << ResultJournal::alone_line(d, w, ipc) << "\n";
+  };
+  first_opts.on_mix_result = [&](const MixResult& r) {
+    journal_os << ResultJournal::mix_line(r) << "\n";
+  };
+  ExperimentRunner first(cfg);
+  first.run_mix_matrix(designs, mixes, first_opts);
+  ASSERT_EQ(first.mix_results().size(), 2u);
+  ASSERT_EQ(first.alone_ipc().size(), 4u);  // 2 designs x 2 workloads
+
+  ResultJournal journal;
+  std::istringstream journal_is(journal_os.str());
+  const auto stats = journal.load_stats(journal_is);
+  EXPECT_EQ(stats.restored, 6u);  // 4 alone baselines + 2 mix cells
+  EXPECT_EQ(stats.malformed, 0u);
+  ASSERT_NE(journal.find_alone("Bumblebee", "mcf"), nullptr);
+  ASSERT_NE(journal.find_mix("Bumblebee", "mcf+lbm"), nullptr);
+  EXPECT_EQ(journal.find_alone("Bumblebee", "nonesuch"), nullptr);
+  EXPECT_EQ(journal.find_mix("nonesuch", "mcf+lbm"), nullptr);
+
+  RunMatrixOptions resume_opts = opts;
+  resume_opts.jobs = 4;
+  resume_opts.resume = &journal;
+  std::size_t fresh = 0;
+  resume_opts.on_alone = [&](const std::string&, const std::string&,
+                             double) { ++fresh; };
+  resume_opts.on_mix_result = [&](const MixResult&) { ++fresh; };
+  resume_opts.on_result = [&](const RunResult&) { ++fresh; };
+  ExperimentRunner second(cfg);
+  second.run_mix_matrix(designs, mixes, resume_opts);
+  EXPECT_EQ(fresh, 0u);  // everything restored, nothing re-simulated
+
+  std::ostringstream a_csv, b_csv, a_mix, b_mix;
+  first.write_csv(a_csv);
+  second.write_csv(b_csv);
+  first.write_mix_json(a_mix);
+  second.write_mix_json(b_mix);
+  EXPECT_EQ(a_csv.str(), b_csv.str());
+  EXPECT_EQ(a_mix.str(), b_mix.str());
+}
+
+// A journal holding only the alone baselines (interrupt landed between the
+// two phases) must skip phase 1 and re-simulate only the co-run cells.
+TEST(Experiment, MixMatrixResumesPartialAloneJournal) {
+  SystemConfig cfg = small_config();
+  const std::vector<std::string> designs = {"DRAM-only"};
+  const std::vector<MixSpec> mixes = {MixSpec::parse("mcf+lbm")};
+
+  RunMatrixOptions opts;
+  opts.jobs = 1;
+  opts.instructions = 100'000;
+
+  std::ostringstream journal_os;
+  RunMatrixOptions first_opts = opts;
+  first_opts.on_alone = [&](const std::string& d, const std::string& w,
+                            double ipc) {
+    journal_os << ResultJournal::alone_line(d, w, ipc) << "\n";
+  };
+  ExperimentRunner first(cfg);
+  first.run_mix_matrix(designs, mixes, first_opts);
+
+  ResultJournal journal;
+  std::istringstream journal_is(journal_os.str());
+  EXPECT_EQ(journal.load_stats(journal_is).restored, 2u);
+
+  RunMatrixOptions resume_opts = opts;
+  resume_opts.resume = &journal;
+  std::size_t alone_reruns = 0, mix_runs = 0;
+  resume_opts.on_alone = [&](const std::string&, const std::string&,
+                             double) { ++alone_reruns; };
+  resume_opts.on_mix_result = [&](const MixResult&) { ++mix_runs; };
+  ExperimentRunner second(cfg);
+  second.run_mix_matrix(designs, mixes, resume_opts);
+  EXPECT_EQ(alone_reruns, 0u);
+  EXPECT_EQ(mix_runs, 1u);
+  // The restored baselines fed the fresh co-run scoring.
+  ASSERT_EQ(second.mix_results().size(), 1u);
+  for (const auto& c : second.mix_results()[0].cores) {
+    EXPECT_GT(c.alone_ipc, 0.0);
+  }
+}
+
+// load_stats must count damage instead of crashing (or silently accepting):
+// garbage lines, torn writes, schema-less objects, and unknown kinds are
+// all malformed; valid lines around them still restore.
+TEST(Experiment, JournalLoadStatsCountsMalformedLines) {
+  std::string journal_text;
+  journal_text += ResultJournal::line(fake("A", "mcf", 1.5)) + "\n";
+  journal_text += "not json at all\n";
+  journal_text += "{\"design\":\"torn";  // torn tail, no newline termination
+  journal_text += "\n";
+  journal_text += ResultJournal::alone_line("A", "xz", 2.0) + "\n";
+  journal_text += "{\"kind\":\"martian\",\"design\":\"A\"}\n";
+  journal_text += "{\"kind\":\"mix\",\"design\":\"A\"}\n";  // missing scores
+  journal_text += "[1,2,3]\n";   // not an object
+  journal_text += "\n";          // blank lines are ignored, not malformed
+  journal_text += "{\"kind\":\"alone\",\"design\":\"\",\"workload\":\"\"}\n";
+
+  ResultJournal journal;
+  std::istringstream is(journal_text);
+  const auto stats = journal.load_stats(is);
+  EXPECT_EQ(stats.restored, 2u);
+  EXPECT_EQ(stats.malformed, 6u);
+  EXPECT_NE(journal.find("A", "mcf"), nullptr);
+  ASSERT_NE(journal.find_alone("A", "xz"), nullptr);
+  EXPECT_DOUBLE_EQ(*journal.find_alone("A", "xz"), 2.0);
+}
+
+// Last-line-wins: a journal that records the same cell twice (rerun after a
+// partial resume) restores the later value.
+TEST(Experiment, JournalLastLineWins) {
+  std::string journal_text;
+  journal_text += ResultJournal::alone_line("A", "mcf", 1.0) + "\n";
+  journal_text += ResultJournal::alone_line("A", "mcf", 3.0) + "\n";
+  ResultJournal journal;
+  std::istringstream is(journal_text);
+  EXPECT_EQ(journal.load_stats(is).restored, 2u);
+  ASSERT_NE(journal.find_alone("A", "mcf"), nullptr);
+  EXPECT_DOUBLE_EQ(*journal.find_alone("A", "mcf"), 3.0);
+}
+
 TEST(Experiment, BumblebeeMatrixLabelsResults) {
   bumblebee::BumblebeeConfig a;  // defaults
   bumblebee::BumblebeeConfig b;

@@ -1,0 +1,115 @@
+// Fault-injection determinism: the same seed + fault config must produce
+// byte-identical CSV / JSON / epoch / trace output regardless of --jobs,
+// different fault seeds must actually perturb the run, and the reliability
+// columns appear exactly when fault injection is configured.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace bb::sim {
+namespace {
+
+SystemConfig fault_cfg(u64 fault_seed) {
+  SystemConfig cfg;
+  cfg.hbm.capacity_bytes = 32 * MiB;
+  cfg.dram.capacity_bytes = 320 * MiB;
+  cfg.core.cores = 1;
+  cfg.warmup_ratio = 0.0;
+  cfg.seed = 42;
+  cfg.fault = fault::FaultConfig::profile("mixed", 1e-3, fault_seed);
+  cfg.obs.trace = true;
+  cfg.obs.epoch.every_requests = 2'000;
+  return cfg;
+}
+
+struct Outputs {
+  std::string csv, json, epoch, trace;
+};
+
+Outputs run_matrix_outputs(const SystemConfig& cfg, unsigned jobs) {
+  RunMatrixOptions opts;
+  opts.jobs = jobs;
+  opts.instructions = 120'000;
+  ExperimentRunner ex(cfg);
+  ex.run_matrix({"DRAM-only", "Bumblebee"},
+                {trace::WorkloadProfile::by_name("mcf"),
+                 trace::WorkloadProfile::by_name("lbm")},
+                opts);
+  Outputs out;
+  std::ostringstream csv, json, epoch, trace;
+  ex.write_csv(csv);
+  ex.write_json(json);
+  ex.write_epoch_csv(epoch);
+  ex.write_trace(trace, ExperimentRunner::TraceFormat::kJsonl);
+  out.csv = csv.str();
+  out.json = json.str();
+  out.epoch = epoch.str();
+  out.trace = trace.str();
+  return out;
+}
+
+TEST(FaultDeterminismTest, OutputsAreByteIdenticalAcrossJobs) {
+  const Outputs serial = run_matrix_outputs(fault_cfg(1), 1);
+  const Outputs parallel = run_matrix_outputs(fault_cfg(1), 4);
+  EXPECT_EQ(serial.csv, parallel.csv);
+  EXPECT_EQ(serial.json, parallel.json);
+  EXPECT_EQ(serial.epoch, parallel.epoch);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  // The run actually injected faults (otherwise this test proves nothing).
+  EXPECT_NE(serial.trace.find("fault_injected"), std::string::npos);
+  EXPECT_NE(serial.csv.find("ce_count"), std::string::npos);
+}
+
+TEST(FaultDeterminismTest, DifferentFaultSeedsPerturbTheRun) {
+  const Outputs a = run_matrix_outputs(fault_cfg(1), 1);
+  const Outputs b = run_matrix_outputs(fault_cfg(2), 1);
+  EXPECT_NE(a.csv, b.csv);
+}
+
+TEST(FaultDeterminismTest, FaultColumnsAppearOnlyWhenEnabled) {
+  SystemConfig clean;
+  clean.hbm.capacity_bytes = 32 * MiB;
+  clean.dram.capacity_bytes = 320 * MiB;
+  clean.core.cores = 1;
+  clean.warmup_ratio = 0.0;
+  clean.seed = 42;
+  RunMatrixOptions opts;
+  opts.jobs = 1;
+  opts.instructions = 60'000;
+
+  ExperimentRunner off(clean);
+  off.run_matrix({"DRAM-only"}, {trace::WorkloadProfile::by_name("mcf")},
+                 opts);
+  std::ostringstream off_csv, off_json;
+  off.write_csv(off_csv);
+  off.write_json(off_json);
+  EXPECT_EQ(off_csv.str().find("ce_count"), std::string::npos);
+  EXPECT_EQ(off_json.str().find("ce_count"), std::string::npos);
+
+  SystemConfig faulty = clean;
+  faulty.fault = fault::FaultConfig::profile("transient", 1e-3);
+  ExperimentRunner on(faulty);
+  on.run_matrix({"DRAM-only"}, {trace::WorkloadProfile::by_name("mcf")},
+                opts);
+  std::ostringstream on_csv, on_json;
+  on.write_csv(on_csv);
+  on.write_json(on_json);
+  EXPECT_NE(on_csv.str().find("ce_count"), std::string::npos);
+  EXPECT_NE(on_json.str().find("due_data_loss"), std::string::npos);
+  EXPECT_NE(on_csv.str().find("degraded_sets"), std::string::npos);
+}
+
+// The epoch time-series carries the degradation probes when faults are on.
+TEST(FaultDeterminismTest, EpochSeriesCarriesReliabilityProbes) {
+  const Outputs out = run_matrix_outputs(fault_cfg(1), 1);
+  EXPECT_NE(out.epoch.find("due_unrecovered"), std::string::npos);
+  EXPECT_NE(out.epoch.find("retired_frames"), std::string::npos);
+  EXPECT_NE(out.epoch.find("degraded_sets"), std::string::npos);
+  EXPECT_NE(out.epoch.find("hbm_ce_count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bb::sim

@@ -8,7 +8,9 @@
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
+#include "common/rng.h"
 #include "sim/experiment.h"
 
 namespace bb::sim {
@@ -178,15 +180,37 @@ TEST(Mix, MatrixScoresAgainstAloneBaselines) {
   }
 }
 
-TEST(Mix, MatrixRejectsResumeJournals) {
-  ExperimentRunner runner(mix_config());
-  ResultJournal journal;
-  RunMatrixOptions opts = mix_opts(1);
-  opts.resume = &journal;
-  EXPECT_THROW(
-      runner.run_mix_matrix({"DRAM-only"}, {MixSpec::parse("cachecap2")},
-                            opts),
-      std::invalid_argument);
+// Fuzz-style negative coverage: arbitrary byte soup handed to MixSpec::parse
+// must either produce a spec or throw invalid_argument — never crash. Covers
+// embedded '+', NUL-ish control bytes, and non-UTF8 (0x80..0xFF) input.
+TEST(MixSpecFuzz, ParseNeverCrashesOnGarbage) {
+  SplitMix64 rng(0x313D5u);
+  u32 parsed = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string spec;
+    const u64 len = rng.next() % 32;
+    for (u64 i = 0; i < len; ++i) {
+      // Bias towards '+' and letters so separators get exercised, but keep
+      // raw high bytes in the mix.
+      const u64 pick = rng.next();
+      if (pick % 4 == 0) {
+        spec.push_back('+');
+      } else if (pick % 4 == 1) {
+        spec.push_back(static_cast<char>('a' + (pick >> 8) % 26));
+      } else {
+        spec.push_back(static_cast<char>(pick & 0xFF));
+      }
+    }
+    try {
+      const MixSpec m = MixSpec::parse(spec);
+      (void)m.cores();
+      ++parsed;
+    } catch (const std::invalid_argument&) {
+      // the overwhelmingly common outcome
+    }
+  }
+  // Sanity: the fuzz loop must not have been short-circuited somehow.
+  EXPECT_LT(parsed, 2000u);
 }
 
 TEST(Mix, OutputsByteIdenticalAcrossJobs) {
