@@ -18,8 +18,10 @@
 // Exit codes: 0 success, 2 usage error (unknown name / bad flag value),
 // 3 I/O error (unopenable output or journal file), 4 internal error,
 // 130 interrupted (SIGINT; the checkpoint journal, if any, is flushed).
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -29,6 +31,7 @@
 #include "common/flags.h"
 #include "common/table.h"
 #include "fault/fault.h"
+#include "mem/request_queue.h"
 #include "sim/experiment.h"
 
 using namespace bb;
@@ -80,6 +83,11 @@ int run(const Flags& flags) {
         "              [--fault-rate=R]  (per-access fault probability,\n"
         "               default 1e-4; implies --fault-profile=mixed)\n"
         "              [--fault-seed=N]  (extra fault-model seed salt)\n"
+        "              [--queue-depth=N]  (FR-FCFS request queues on both\n"
+        "               devices, N entries per channel; 0 disables)\n"
+        "              [--write-watermarks=HI:LO]  (write-drain hysteresis\n"
+        "               thresholds, LO < HI <= depth; implies queues on)\n"
+        "               env BB_QUEUE=on|off overrides both flags\n"
         "              [--list-workloads] [--list-mixes]\n"
         "exit codes: 0 ok, 2 usage, 3 I/O, 4 internal, 130 interrupted\n";
     std::cout << "designs:";
@@ -164,6 +172,63 @@ int run(const Flags& flags) {
       std::cerr << "bbsim: " << e.what() << "\n";
       return kExitUsage;
     }
+  }
+
+  // Request-queue layer (opt-in). --queue-depth=0 keeps it off; the
+  // BB_QUEUE environment variable is the last word either way — "off" is
+  // the hard kill switch that reproduces the unqueued legacy timing
+  // bit-for-bit, "on" enables the FR-FCFS preset even with no flags.
+  mem::QueueConfig qcfg = mem::QueueConfig::fr_fcfs();
+  bool queue_on = false;
+  if (flags.has("queue-depth")) {
+    const u64 depth = flags.get_u64("queue-depth", qcfg.queue_depth);
+    queue_on = depth > 0;
+    if (queue_on) {
+      qcfg.queue_depth = static_cast<u32>(depth);
+      // Keep the default 3/4 : 1/4 hysteresis shape at any depth.
+      qcfg.write_high_watermark =
+          std::max<u32>(1, qcfg.queue_depth * 3 / 4);
+      qcfg.write_low_watermark = qcfg.queue_depth / 4;
+    }
+  }
+  if (flags.has("write-watermarks")) {
+    if (flags.has("queue-depth") && !queue_on) {
+      std::cerr << "bbsim: --write-watermarks conflicts with "
+                   "--queue-depth=0\n";
+      return kExitUsage;
+    }
+    const std::string wm = flags.get_string("write-watermarks", "");
+    unsigned hi = 0, lo = 0;
+    char extra = 0;
+    if (std::sscanf(wm.c_str(), "%u:%u%c", &hi, &lo, &extra) != 2) {
+      std::cerr << "bbsim: --write-watermarks expects HI:LO, got: " << wm
+                << "\n";
+      return kExitUsage;
+    }
+    if (!(lo < hi && hi <= qcfg.queue_depth)) {
+      std::cerr << "bbsim: --write-watermarks requires LO < HI <= queue "
+                   "depth ("
+                << qcfg.queue_depth << ")\n";
+      return kExitUsage;
+    }
+    qcfg.write_high_watermark = hi;
+    qcfg.write_low_watermark = lo;
+    queue_on = true;
+  }
+  if (const char* env = std::getenv("BB_QUEUE")) {
+    const std::string v = env;
+    if (v == "off" || v == "0") {
+      queue_on = false;
+    } else if (v == "on" || v == "1") {
+      queue_on = true;
+    } else if (!v.empty()) {
+      std::cerr << "bbsim: BB_QUEUE must be on or off, got: " << v << "\n";
+      return kExitUsage;
+    }
+  }
+  if (queue_on) {
+    cfg.hbm.queue = qcfg;
+    cfg.dram.queue = qcfg;
   }
 
   // Observability (opt-in; off = zero overhead beyond a pointer test).

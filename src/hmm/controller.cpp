@@ -77,6 +77,15 @@ void HybridMemoryController::set_core_count(u32 cores) {
   core_stats_.assign(cores, CoreStats{});
 }
 
+void HybridMemoryController::drain(Tick now) {
+  // End-of-run queue flush: posted writes drain to the devices so beat,
+  // row-state and energy totals are complete before results are
+  // assembled (bytes are accounted at arrival). No-op with the queue
+  // layer off.
+  hbm_.drain_queues(now);
+  dram_.drain_queues(now);
+}
+
 void HybridMemoryController::set_trace_sink(TraceSink* sink) {
   trace_ = sink;
   paging_.set_trace_sink(sink);

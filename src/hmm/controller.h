@@ -182,8 +182,11 @@ class HybridMemoryController {
   void set_core_count(u32 cores);
   const std::vector<CoreStats>& core_stats() const { return core_stats_; }
 
-  /// Flushes any design-internal buffered state (end of simulation).
-  virtual void drain(Tick now) { (void)now; }
+  /// Flushes any design-internal buffered state (end of simulation). The
+  /// base implementation flushes the devices' request queues (posted
+  /// writes still sitting in the FR-FCFS write queues); overrides must
+  /// call it so queued traffic is fully accounted before results are read.
+  virtual void drain(Tick now);
 
   /// Observer for every physical copy made by move_data (tests use this to
   /// maintain a functional shadow of both devices).

@@ -19,6 +19,10 @@ DramDevice::DramDevice(DramTimingParams params)
                 params_.banks_per_channel);
   bus_ready_.resize(params_.channels, 0);
   next_refresh_.resize(params_.channels, ns_to_ticks(params_.trefi_ns));
+  if (params_.queue.enabled) {
+    scheduler_ =
+        std::make_unique<ChannelScheduler>(params_.queue, params_.channels);
+  }
 }
 
 Tick DramDevice::apply_refresh(u32 channel, Tick t) {
@@ -66,11 +70,20 @@ DramDevice::Decoded DramDevice::decode(Addr addr) const {
   const u64 row_index = chan_addr / params_.row_bytes;
   const u64 bank_hash = row_index ^ (row_index >> 3) ^ (row_index >> 7);
   const u32 bank = static_cast<u32>(bank_hash % params_.banks_per_channel);
-  const u32 row = static_cast<u32>(row_index / params_.banks_per_channel);
+  // Open-row identity. The legacy divide could alias two distinct physical
+  // rows onto one id when their hashes collide into the same bank (their
+  // row_index values sharing a /banks quotient), registering phantom open-
+  // row hits. The fixed identity is the full row_index, which is unique
+  // per channel by construction.
+  const u32 row = params_.queue.timing_fixes
+                      ? static_cast<u32>(row_index)
+                      : static_cast<u32>(row_index /
+                                         params_.banks_per_channel);
   return {channel, bank, row};
 }
 
-Tick DramDevice::do_beat(const Decoded& d, AccessType type, Tick now) {
+DramDevice::RawTiming DramDevice::do_beat(const Decoded& d, AccessType type,
+                                          Tick now) {
   Bank& bank = banks_[static_cast<std::size_t>(d.channel) *
                           params_.banks_per_channel +
                       d.bank];
@@ -84,12 +97,18 @@ Tick DramDevice::do_beat(const Decoded& d, AccessType type, Tick now) {
 
   Tick t = apply_refresh(d.channel, std::max(now, bank.ready_at));
   // Bus turnaround: a read command after a write burst on the same bank
-  // waits tWTR; a write after a read waits tRTW.
+  // waits tWTR; a write after a read waits tRTW. Legacy bug (preserved
+  // when timing_fixes is off, for golden-hash compatibility): a freshly
+  // initialized bank has last_was_write == false, so the first-ever write
+  // to a bank charged tRTW for a read that never happened. The fix charges
+  // the read-to-write turnaround only after an actually issued command.
   if (type == AccessType::kRead && bank.last_was_write) {
     t = std::max(t, bank.write_recovery_at);
-  } else if (type == AccessType::kWrite && !bank.last_was_write) {
+  } else if (type == AccessType::kWrite && !bank.last_was_write &&
+             (!params_.queue.timing_fixes || bank.has_issued)) {
     t += params_.cycles_to_ticks(params_.tRTW);
   }
+  const Tick cmd_issue = t;
   if (bank.open_row == d.row) {
     ++stats_.row_hits;
   } else if (bank.open_row == Bank::kNoRow) {
@@ -123,8 +142,53 @@ Tick DramDevice::do_beat(const Decoded& d, AccessType type, Tick now) {
     bank.write_recovery_at =
         data_start + tBURST + params_.cycles_to_ticks(params_.tWTR);
   }
+  bank.has_issued = true;
   ++stats_.beats;
-  return data_start + tBURST;
+  return {cmd_issue, data_start + tBURST};
+}
+
+DramDevice::RawTiming DramDevice::timed_beats(Addr addr, u64 bytes,
+                                              AccessType type, Tick now) {
+  const u64 beat_bytes = params_.burst_bytes();
+  const Addr first = addr & ~(beat_bytes - 1);
+  const Addr last = (addr + bytes - 1) & ~(beat_bytes - 1);
+
+  RawTiming res;
+  res.complete = now;
+  bool first_beat = true;
+  for (Addr a = first;; a += beat_bytes) {
+    const RawTiming beat =
+        do_beat(decode(a % params_.capacity_bytes), type, now);
+    if (first_beat) {
+      res.start = beat.start;
+      first_beat = false;
+    }
+    res.complete = std::max(res.complete, beat.complete);
+    if (a == last) break;
+  }
+  return res;
+}
+
+u32 DramDevice::channel_of(Addr addr) const {
+  return decode(addr % params_.capacity_bytes).channel;
+}
+
+bool DramDevice::open_row_hit(Addr addr) const {
+  const Decoded d = decode(addr % params_.capacity_bytes);
+  return banks_[static_cast<std::size_t>(d.channel) *
+                    params_.banks_per_channel +
+                d.bank]
+             .open_row == d.row;
+}
+
+QueueBackend::Issue DramDevice::issue(Addr addr, u64 bytes, AccessType type,
+                                      Tick now) {
+  const RawTiming t = timed_beats(addr, bytes, type, now);
+  return {t.start, t.complete};
+}
+
+void DramDevice::drain_queues(Tick now) {
+  if (scheduler_) scheduler_->drain_all(now, *this);
 }
 
 AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
@@ -135,21 +199,38 @@ AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
   const Addr last = (addr + bytes - 1) & ~(beat_bytes - 1);
 
   AccessResult res;
-  res.start = now;
-  res.complete = now;
-  for (Addr a = first;; a += beat_bytes) {
-    const Tick done = do_beat(decode(a % params_.capacity_bytes), type, now);
-    res.complete = std::max(res.complete, done);
-    if (a == last) break;
+  bool coalesced = false;
+  if (scheduler_) {
+    // Queued path: reads go through the MSHR/scheduler (coalesced reads
+    // produce no device traffic), writes are posted into the per-channel
+    // write queues and drained FR-FCFS. Byte/access accounting stays at
+    // arrival so per-core attribution snapshots charge the causing core.
+    const ChannelScheduler::SchedResult is =
+        (type == AccessType::kRead)
+            ? scheduler_->on_read(addr, bytes, now, *this)
+            : scheduler_->on_write(addr, bytes, now, *this);
+    res.start = is.start;
+    res.complete = is.complete;
+    coalesced = is.coalesced;
+  } else {
+    const RawTiming t = timed_beats(addr, bytes, type, now);
+    // Legacy reports the arrival tick as start; the fixed path reports
+    // the true command-issue tick so latency() excludes queueing delay.
+    res.start = params_.queue.timing_fixes ? t.start : now;
+    res.complete = t.complete;
   }
 
   ++stats_.accesses;
-  const u64 moved = (last - first) + beat_bytes;
-  auto& by_class = (type == AccessType::kRead) ? stats_.read_bytes
-                                               : stats_.write_bytes;
-  by_class[static_cast<std::size_t>(cls)] += moved;
+  if (!coalesced) {
+    const u64 moved = (last - first) + beat_bytes;
+    auto& by_class = (type == AccessType::kRead) ? stats_.read_bytes
+                                                 : stats_.write_bytes;
+    by_class[static_cast<std::size_t>(cls)] += moved;
+  }
 
-  if (faults_ != nullptr) {
+  // A coalesced read rides the original fill, whose ECC verdict was
+  // already delivered to that fill's requester — no reclassification.
+  if (faults_ != nullptr && !coalesced) {
     // ECC classification covers the access as a unit, keyed on the first
     // beat's geometry (sufficient for 64 B demand accesses; a multi-beat
     // transfer spanning a faulty structure still reports one event).
@@ -179,17 +260,45 @@ AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
   return res;
 }
 
+Tick DramDevice::refresh_adjusted(u32 channel, Tick t) const {
+  if (!params_.refresh_enabled) return t;
+  const Tick trefi = ns_to_ticks(params_.trefi_ns);
+  const Tick trfc = ns_to_ticks(params_.trfc_ns);
+  Tick next = next_refresh_[channel];
+  // Mirror apply_refresh's arithmetic without mutating state: refreshes
+  // that completed entirely before `t` cannot stall anything; a `t`
+  // landing inside a pending window is pushed to the window's end.
+  if (t > next + trfc) {
+    next += ((t - next - trfc) / trefi) * trefi;
+  }
+  while (t >= next) {
+    const Tick refresh_end = next + trfc;
+    next += trefi;
+    if (t < refresh_end) t = refresh_end;
+  }
+  return t;
+}
+
 Tick DramDevice::probe_ready(Addr addr, Tick now) const {
   const Decoded d = decode(addr % params_.capacity_bytes);
   const Bank& bank = banks_[static_cast<std::size_t>(d.channel) *
                                 params_.banks_per_channel +
                             d.bank];
-  return std::max({now, bank.ready_at, bus_ready_[d.channel]});
+  // Legacy bug (preserved when timing_fixes is off): the probe ignored
+  // pending refresh windows, underestimating readiness by up to tRFC for
+  // ticks inside a window. The fix consults the refresh schedule with the
+  // same const arithmetic apply_refresh uses.
+  Tick t = std::max(now, bank.ready_at);
+  if (params_.queue.timing_fixes) t = refresh_adjusted(d.channel, t);
+  return std::max(t, bus_ready_[d.channel]);
 }
 
 void DramDevice::reset_stats() {
   stats_ = DramStats{};
   energy_.reset();
+  // Scheduler counters reset too; queued writes still in flight stay
+  // queued (queue contents are state, not statistics).
+  if (scheduler_) scheduler_->reset_stats();
 }
 
 void DramDevice::register_metrics(MetricRegistry& reg,
@@ -208,6 +317,29 @@ void DramDevice::register_metrics(MetricRegistry& reg,
         [st, c] {
           return static_cast<double>(st->read_bytes[c] + st->write_bytes[c]);
         });
+  }
+  if (scheduler_) {
+    // The ramulator HBM_Memory.h stat set: per-epoch queueing averages and
+    // the drain-episode counter, prefixed per device like every other
+    // probe here.
+    const QueueStats* qs = &scheduler_->stats();
+    reg.add_ratio(
+        prefix + "queueing_latency_avg",
+        [qs] { return ticks_to_ns(qs->queueing_latency_sum); },
+        [qs] { return static_cast<double>(qs->requests()); });
+    reg.add_ratio(
+        prefix + "read_queue_latency_avg",
+        [qs] { return ticks_to_ns(qs->read_queue_latency_sum); },
+        [qs] {
+          return static_cast<double>(qs->reads_issued + qs->reads_coalesced);
+        });
+    reg.add_ratio(
+        prefix + "req_queue_length_avg",
+        [qs] { return static_cast<double>(qs->req_queue_length_sum); },
+        [qs] { return static_cast<double>(qs->queue_length_samples); });
+    reg.add_counter(prefix + "write_drain_count", [qs] {
+      return static_cast<double>(qs->write_drain_count);
+    });
   }
   if (faults_ != nullptr) {
     const fault::DeviceFaultState* fs = faults_;

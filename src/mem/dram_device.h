@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <vector>
 
 #include <string>
@@ -22,6 +23,7 @@
 #include "common/types.h"
 #include "fault/fault.h"
 #include "mem/energy.h"
+#include "mem/request_queue.h"
 #include "mem/timing.h"
 
 namespace bb {
@@ -87,7 +89,12 @@ struct DramStats {
 
 /// Result of a single (possibly multi-beat) access.
 struct AccessResult {
-  Tick start = 0;     ///< when the first command could issue
+  /// When the first command could issue. In legacy mode (queue layer off,
+  /// no timing fixes) this is the arrival tick, preserving the historical
+  /// latency() the golden hash covers; with the queue layer or timing
+  /// fixes enabled it is the true issue tick, so `start - arrival` is the
+  /// first-class queueing delay.
+  Tick start = 0;
   Tick complete = 0;  ///< when the last data beat finishes
   /// SECDED verdict (kClean unless a fault model is attached). On
   /// kCorrected, `complete` already includes the correction latency; on
@@ -96,7 +103,7 @@ struct AccessResult {
   Tick latency() const { return complete - start; }
 };
 
-class DramDevice {
+class DramDevice final : private QueueBackend {
  public:
   explicit DramDevice(DramTimingParams params);
 
@@ -105,16 +112,31 @@ class DramDevice {
 
   /// Performs an access of `bytes` bytes at `addr`, issued no earlier than
   /// `now`. Splits into burst beats internally. Returns completion timing.
+  /// With the queue layer enabled (params.queue), reads route through the
+  /// MSHR/scheduler path and writes are posted into the per-channel write
+  /// queues; otherwise this is the historical direct path.
   AccessResult access(Addr addr, u64 bytes, AccessType type, Tick now,
                       TrafficClass cls = TrafficClass::kDemand);
 
   /// Earliest tick at which a new beat at `addr` could deliver data — a
-  /// contention probe that does not mutate any state.
+  /// contention probe that does not mutate any state. With timing fixes
+  /// enabled the probe is refresh-aware: a tick inside a pending refresh
+  /// window reports the window's end.
   Tick probe_ready(Addr addr, Tick now) const;
+
+  /// Flushes any posted writes still sitting in the request queues (end of
+  /// simulation). No-op when the queue layer is off.
+  void drain_queues(Tick now);
 
   const DramTimingParams& params() const { return params_; }
   const DramStats& stats() const { return stats_; }
   const EnergyModel& energy() const { return energy_; }
+  /// Scheduler statistics, or nullptr when the queue layer is off.
+  const QueueStats* queue_stats() const {
+    return scheduler_ ? &scheduler_->stats() : nullptr;
+  }
+  /// The scheduler itself (tests / probes), nullptr when off.
+  const ChannelScheduler* scheduler() const { return scheduler_.get(); }
   u64 capacity() const { return params_.capacity_bytes; }
 
   /// Clears statistics (bank/bus state is retained).
@@ -134,6 +156,16 @@ class DramDevice {
   /// Sink for fault_injected events (nullptr = no tracing).
   void set_trace_sink(TraceSink* sink) { trace_ = sink; }
 
+  struct Decoded {
+    u32 channel;
+    u32 bank;
+    u32 row;
+  };
+
+  /// Address decode (channel/bank hashing, row identity). Public so tests
+  /// and tools can construct colliding or co-located address pairs.
+  Decoded decode_addr(Addr addr) const { return decode(addr); }
+
  private:
   struct Bank {
     u32 open_row = kNoRow;
@@ -141,27 +173,43 @@ class DramDevice {
     Tick act_allowed_at = 0;  ///< honors tRAS before the next precharge
     Tick write_recovery_at = 0;  ///< honors tWTR after the last write burst
     bool last_was_write = false;
+    bool has_issued = false;  ///< any command issued yet (turnaround fix)
     static constexpr u32 kNoRow = ~u32{0};
   };
 
-  struct Decoded {
-    u32 channel;
-    u32 bank;
-    u32 row;
+  /// Command-issue and data-completion ticks of one beat or access.
+  struct RawTiming {
+    Tick start = 0;
+    Tick complete = 0;
   };
 
   Decoded decode(Addr addr) const;
 
-  /// Times one beat through its bank and channel bus; returns data-done tick.
-  Tick do_beat(const Decoded& d, AccessType type, Tick now);
+  /// Times one beat through its bank and channel bus.
+  RawTiming do_beat(const Decoded& d, AccessType type, Tick now);
+
+  /// Times a whole access (beat split + capacity wrap), no byte
+  /// accounting. `start` is the first beat's command-issue tick.
+  RawTiming timed_beats(Addr addr, u64 bytes, AccessType type, Tick now);
 
   /// Applies any refresh windows that elapsed before `t` on the channel.
   Tick apply_refresh(u32 channel, Tick t);
+
+  /// Const mirror of apply_refresh: the earliest tick >= `t` not covered
+  /// by a pending refresh window, computed without mutating refresh state.
+  Tick refresh_adjusted(u32 channel, Tick t) const;
+
+  // QueueBackend (the scheduler drives the raw timing path through these).
+  u32 channel_of(Addr addr) const override;
+  bool open_row_hit(Addr addr) const override;
+  QueueBackend::Issue issue(Addr addr, u64 bytes, AccessType type,
+                            Tick now) override;
 
   DramTimingParams params_;
   std::vector<Bank> banks_;          // channels * banks_per_channel
   std::vector<Tick> bus_ready_;      // per channel
   std::vector<Tick> next_refresh_;   // per channel
+  std::unique_ptr<ChannelScheduler> scheduler_;  // queue layer, often null
   DramStats stats_;
   EnergyModel energy_;
   fault::DeviceFaultState* faults_ = nullptr;

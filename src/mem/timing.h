@@ -14,11 +14,17 @@
 #include <string>
 
 #include "common/types.h"
+#include "mem/request_queue.h"
 
 namespace bb::mem {
 
 struct DramTimingParams {
   std::string name;
+
+  /// Request-queue layer (FR-FCFS write queues, MSHRs, timing fixes).
+  /// Default-off: the device behaves bit-for-bit like the pre-queue model
+  /// so the pinned golden hash stays valid (the BB_QUEUE=off preset).
+  QueueConfig queue;
 
   // Geometry.
   u64 capacity_bytes = 0;

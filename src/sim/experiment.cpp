@@ -40,11 +40,19 @@ bool has_fault_fields(const RunResult& r) {
          r.degraded_sets;
 }
 
+/// True when any request-queue stat of the run is nonzero (only possible
+/// with the queue layer enabled).
+bool has_queue_fields(const RunResult& r) {
+  return r.queueing_latency_avg != 0 || r.read_queue_latency_avg != 0 ||
+         r.req_queue_length_avg != 0 || r.write_drain_count != 0;
+}
+
 /// One result as a single-line JSON object — the element format of
 /// write_json and the line format of the checkpoint journal. The
-/// reliability fields are emitted only on request so fault-free outputs
-/// stay byte-identical to their pre-fault-model form.
-std::string result_to_json(const RunResult& r, bool include_fault) {
+/// reliability and request-queue fields are emitted only on request so
+/// legacy outputs stay byte-identical to their earlier forms.
+std::string result_to_json(const RunResult& r, bool include_fault,
+                           bool include_queue) {
   std::string out = "{";
   out += "\"design\":\"" + json_escape(r.design) + "\",";
   out += "\"workload\":\"" + json_escape(r.workload) + "\",";
@@ -74,6 +82,16 @@ std::string result_to_json(const RunResult& r, bool include_fault) {
     out += "\"retired_rows\":" + std::to_string(r.retired_rows) + ',';
     out += "\"retired_frames\":" + std::to_string(r.retired_frames) + ',';
     out += "\"degraded_sets\":" + std::to_string(r.degraded_sets) + ',';
+  }
+  if (include_queue) {
+    out += "\"queueing_latency_avg\":" + json_double(r.queueing_latency_avg) +
+           ',';
+    out += "\"read_queue_latency_avg\":" +
+           json_double(r.read_queue_latency_avg) + ',';
+    out += "\"req_queue_length_avg\":" + json_double(r.req_queue_length_avg) +
+           ',';
+    out += "\"write_drain_count\":" + std::to_string(r.write_drain_count) +
+           ',';
   }
   out += "\"hbm_class_bytes\":";
   append_class_object(out, r.hbm_class_bytes);
@@ -114,6 +132,10 @@ bool parse_run_result(const JsonValue& v, RunResult& r) {
   r.retired_rows = static_cast<u64>(v.get_number("retired_rows"));
   r.retired_frames = static_cast<u64>(v.get_number("retired_frames"));
   r.degraded_sets = static_cast<u64>(v.get_number("degraded_sets"));
+  r.queueing_latency_avg = v.get_number("queueing_latency_avg");
+  r.read_queue_latency_avg = v.get_number("read_queue_latency_avg");
+  r.req_queue_length_avg = v.get_number("req_queue_length_avg");
+  r.write_drain_count = static_cast<u64>(v.get_number("write_drain_count"));
   const auto load_classes =
       [&v](const char* key, std::array<u64, mem::kTrafficClassCount>& out) {
         const JsonValue* obj = v.find(key);
@@ -130,7 +152,8 @@ bool parse_run_result(const JsonValue& v, RunResult& r) {
 
 /// One MixResult as a single-line JSON object — the element format of
 /// write_mix_json and the "mix" journal line (minus the kind key).
-std::string mix_result_to_json(const MixResult& r, bool include_fault) {
+std::string mix_result_to_json(const MixResult& r, bool include_fault,
+                               bool include_queue) {
   std::string out = "{\"design\":\"" + json_escape(r.design) +
                     "\",\"mix\":\"" + json_escape(r.mix) +
                     "\",\"weighted_speedup\":" +
@@ -138,7 +161,8 @@ std::string mix_result_to_json(const MixResult& r, bool include_fault) {
                     ",\"hmean_speedup\":" + json_double(r.hmean_speedup) +
                     ",\"max_slowdown\":" + json_double(r.max_slowdown) +
                     ",\"aggregate\":" +
-                    result_to_json(r.aggregate, include_fault) +
+                    result_to_json(r.aggregate, include_fault,
+                                   include_queue) +
                     ",\"cores\":[";
   for (std::size_t c = 0; c < r.cores.size(); ++c) {
     const MixCoreResult& core = r.cores[c];
@@ -266,7 +290,7 @@ const MixResult* ResultJournal::find_mix(const std::string& design,
 }
 
 std::string ResultJournal::line(const RunResult& r) {
-  return result_to_json(r, has_fault_fields(r));
+  return result_to_json(r, has_fault_fields(r), has_queue_fields(r));
 }
 
 std::string ResultJournal::alone_line(const std::string& design,
@@ -280,7 +304,9 @@ std::string ResultJournal::alone_line(const std::string& design,
 std::string ResultJournal::mix_line(const MixResult& r) {
   std::string out = "{\"kind\":\"mix\",";
   // Splice the kind key into the shared mix-object serialization.
-  out += mix_result_to_json(r, has_fault_fields(r.aggregate)).substr(1);
+  out += mix_result_to_json(r, has_fault_fields(r.aggregate),
+                            has_queue_fields(r.aggregate))
+             .substr(1);
   return out;
 }
 
@@ -670,9 +696,10 @@ void ExperimentRunner::write_mix_csv(std::ostream& os) const {
 
 void ExperimentRunner::write_mix_json(std::ostream& os) const {
   const bool fault = cfg_.fault.enabled();
+  const bool queue = queue_configured();
   os << "[\n";
   for (std::size_t i = 0; i < mix_results_.size(); ++i) {
-    os << "  " << mix_result_to_json(mix_results_[i], fault)
+    os << "  " << mix_result_to_json(mix_results_[i], fault, queue)
        << (i + 1 < mix_results_.size() ? "," : "") << '\n';
   }
   os << "]\n";
@@ -705,9 +732,11 @@ std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
 }
 
 void ExperimentRunner::write_csv(std::ostream& os) const {
-  // The reliability columns appear only when fault injection is configured,
-  // so fault-free CSVs keep their historical column set byte-for-byte.
+  // The reliability / queue columns appear only when the matching subsystem
+  // is configured, so legacy CSVs keep their historical column set
+  // byte-for-byte.
   const bool fault = cfg_.fault.enabled();
+  const bool queue = queue_configured();
   std::vector<std::string> header = {
       "design", "workload", "instructions", "misses", "ipc",
       "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
@@ -719,6 +748,11 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
                   {"ce_count", "ue_count", "due_retries", "due_unrecovered",
                    "due_data_loss", "retired_rows", "retired_frames",
                    "degraded_sets"});
+  }
+  if (queue) {
+    header.insert(header.end(),
+                  {"queueing_latency_avg", "read_queue_latency_avg",
+                   "req_queue_length_avg", "write_drain_count"});
   }
   TextTable t(header);
   for (const auto& r : results_) {
@@ -745,6 +779,13 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
                   std::to_string(r.retired_frames),
                   std::to_string(r.degraded_sets)});
     }
+    if (queue) {
+      row.insert(row.end(),
+                 {fmt_double(r.queueing_latency_avg, 2),
+                  fmt_double(r.read_queue_latency_avg, 2),
+                  fmt_double(r.req_queue_length_avg, 4),
+                  std::to_string(r.write_drain_count)});
+    }
     t.add_row(row);
   }
   t.print_csv(os);
@@ -752,9 +793,10 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
 
 void ExperimentRunner::write_json(std::ostream& os) const {
   const bool fault = cfg_.fault.enabled();
+  const bool queue = queue_configured();
   os << "[\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
-    os << "  " << result_to_json(results_[i], fault)
+    os << "  " << result_to_json(results_[i], fault, queue)
        << (i + 1 < results_.size() ? "," : "") << '\n';
   }
   os << "]\n";

@@ -226,6 +226,12 @@ class ExperimentRunner {
                  const CellFn& cell, const DesignNameFn& design_name,
                  const RunMatrixOptions& opts);
 
+  /// True when either device runs the request-queue layer — gates the
+  /// queue stat columns so queue-off outputs keep their historical shape.
+  bool queue_configured() const {
+    return cfg_.hbm.queue.enabled || cfg_.dram.queue.enabled;
+  }
+
   SystemConfig cfg_;
   std::vector<RunResult> results_;
   std::vector<MixResult> mix_results_;

@@ -121,6 +121,30 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
   out.page_faults = hmmc_->paging().stats().faults;
   out.metadata_sram_bytes = hmmc_->metadata_sram_bytes();
 
+  if (hbm_->queue_stats() != nullptr || dram_->queue_stats() != nullptr) {
+    // Aggregate both devices' scheduler stats into one request-weighted
+    // view (a device without queues contributes nothing).
+    mem::QueueStats q;
+    for (const mem::QueueStats* s :
+         {hbm_->queue_stats(), dram_->queue_stats()}) {
+      if (s == nullptr) continue;
+      q.reads_issued += s->reads_issued;
+      q.reads_coalesced += s->reads_coalesced;
+      q.writes_enqueued += s->writes_enqueued;
+      q.writes_drained += s->writes_drained;
+      q.write_drain_count += s->write_drain_count;
+      q.write_queue_full_stalls += s->write_queue_full_stalls;
+      q.queueing_latency_sum += s->queueing_latency_sum;
+      q.read_queue_latency_sum += s->read_queue_latency_sum;
+      q.req_queue_length_sum += s->req_queue_length_sum;
+      q.queue_length_samples += s->queue_length_samples;
+    }
+    out.queueing_latency_avg = q.queueing_latency_avg_ns();
+    out.read_queue_latency_avg = q.read_queue_latency_avg_ns();
+    out.req_queue_length_avg = q.req_queue_length_avg();
+    out.write_drain_count = q.write_drain_count;
+  }
+
   out.ce_count = hs.ce_count + ds.ce_count;
   out.ue_count = hs.ue_count + ds.ue_count;
   out.due_retries = ms.due_retries;

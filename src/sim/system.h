@@ -106,6 +106,15 @@ struct RunResult {
   u64 page_faults = 0;
   u64 metadata_sram_bytes = 0;
 
+  // Request-queue scheduler outcome, aggregated over both devices (all
+  // zero when the queue layer is off; the stat names follow ramulator's
+  // HBM_Memory.h). Exported to CSV/JSON only when queues are configured,
+  // so legacy outputs stay byte-identical.
+  double queueing_latency_avg = 0;    ///< ns, reads + posted writes
+  double read_queue_latency_avg = 0;  ///< ns, reads only
+  double req_queue_length_avg = 0;    ///< queue+MSHR occupancy per arrival
+  u64 write_drain_count = 0;          ///< watermark-triggered drain episodes
+
   // Reliability outcome of the run (all zero when fault injection is off).
   u64 ce_count = 0;         ///< ECC-corrected errors (both devices)
   u64 ue_count = 0;         ///< detected-uncorrectable errors (both devices)

@@ -1,0 +1,307 @@
+// Request-queue layer and PR-6 timing bugfixes.
+//
+// Covers the three gated DRAM-timing fixes (phantom cold-bank tRTW,
+// row-ID aliasing in decode(), refresh-blind probe_ready) and the
+// scheduler proper: FR-FCFS arbitration, write-drain hysteresis and MSHR
+// read coalescing. The fixes are exercised through QueueConfig::timing_fixes
+// without queues, proving the two switches are independent.
+#include "mem/request_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_device.h"
+
+namespace bb::mem {
+namespace {
+
+DramTimingParams hbm_with(QueueConfig q) {
+  DramTimingParams p = DramTimingParams::hbm2_1gb();
+  p.queue = q;
+  return p;
+}
+
+QueueConfig fixes_only() {
+  QueueConfig q;  // queues off...
+  q.timing_fixes = true;  // ...fixes on
+  return q;
+}
+
+// --- Bugfix 1: phantom tRTW on a cold bank -------------------------------
+
+TEST(TimingFixes, ColdBankWriteSkipsPhantomTurnaround) {
+  // A freshly initialized bank has never issued a read, so the first write
+  // must not pay the read-to-write turnaround. Legacy charged it anyway.
+  DramDevice legacy(hbm_with(QueueConfig::off()));
+  DramDevice fixed(hbm_with(fixes_only()));
+  const auto p = legacy.params();
+
+  const auto rl = legacy.access(0, 64, AccessType::kWrite, 1000);
+  const auto rf = fixed.access(0, 64, AccessType::kWrite, 1000);
+  EXPECT_EQ(rl.complete - rf.complete, p.cycles_to_ticks(p.tRTW));
+  // The fixed cold write is exactly activate + CAS + burst.
+  EXPECT_EQ(rf.complete - 1000,
+            p.cycles_to_ticks(p.tRCD) + p.cycles_to_ticks(p.tCAS) +
+                p.burst_ticks());
+}
+
+TEST(TimingFixes, WriteAfterReadStillPaysTurnaround) {
+  // The fix only removes the phantom charge: a genuine read-to-write
+  // transition keeps its tRTW.
+  DramDevice dev(hbm_with(fixes_only()));
+  const auto p = dev.params();
+  const auto rd = dev.access(0, 64, AccessType::kRead, 1000);
+  // Same row, comfortably after the read so bank and bus are idle.
+  const Tick later = rd.complete + ns_to_ticks(50);
+  const auto wr = dev.access(64, 64, AccessType::kWrite, later);
+  EXPECT_EQ(wr.complete - later,
+            p.cycles_to_ticks(p.tRTW) + p.cycles_to_ticks(p.tCAS) +
+                p.burst_ticks());
+}
+
+// --- Bugfix 2: row-ID aliasing in decode() -------------------------------
+
+// With a non-power-of-two bank count the XOR bank hash can land two
+// distinct rows of one /banks quotient group in the same bank; the legacy
+// row identity (row_index / banks) is then equal for both, so the second
+// access registered a phantom open-row hit on a different physical row.
+TEST(TimingFixes, AliasedRowsNoLongerCountPhantomHits) {
+  DramTimingParams p = DramTimingParams::hbm2_1gb();
+  p.name = "alias-test";
+  p.channels = 1;
+  p.banks_per_channel = 6;  // non-pow2: the hash is not a bijection
+  p.interleave_bytes = 512;
+  p.row_bytes = 2 * KiB;
+  p.capacity_bytes = 1 * MiB;
+
+  DramDevice legacy([&] {
+    DramTimingParams q = p;
+    q.queue = QueueConfig::off();
+    return q;
+  }());
+  DramDevice fixed([&] {
+    DramTimingParams q = p;
+    q.queue = fixes_only();
+    return q;
+  }());
+
+  // Brute-force a colliding pair: two different rows, same legacy row id
+  // (same /banks quotient) and same hashed bank.
+  const u64 rows = p.capacity_bytes / p.row_bytes;
+  Addr a1 = 0, a2 = 0;
+  bool found = false;
+  for (u64 r1 = 0; r1 < rows && !found; ++r1) {
+    for (u64 r2 = r1 + 1; r2 < rows && !found; ++r2) {
+      if (r1 / p.banks_per_channel != r2 / p.banks_per_channel) continue;
+      const auto d1 = legacy.decode_addr(r1 * p.row_bytes);
+      const auto d2 = legacy.decode_addr(r2 * p.row_bytes);
+      if (d1.bank != d2.bank) continue;
+      a1 = r1 * p.row_bytes;
+      a2 = r2 * p.row_bytes;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no aliasing pair in this geometry";
+
+  // Same pair, legacy identity: equal rows (the bug). Fixed: distinct.
+  EXPECT_EQ(legacy.decode_addr(a1).row, legacy.decode_addr(a2).row);
+  EXPECT_NE(fixed.decode_addr(a1).row, fixed.decode_addr(a2).row);
+
+  const auto l1 = legacy.access(a1, 64, AccessType::kRead, 1000);
+  legacy.access(a2, 64, AccessType::kRead, l1.complete + ns_to_ticks(100));
+  EXPECT_EQ(legacy.stats().row_hits, 1u);  // phantom hit
+
+  const auto f1 = fixed.access(a1, 64, AccessType::kRead, 1000);
+  fixed.access(a2, 64, AccessType::kRead, f1.complete + ns_to_ticks(100));
+  EXPECT_EQ(fixed.stats().row_hits, 0u);
+  EXPECT_EQ(fixed.stats().row_misses, 1u);  // real conflict
+}
+
+// --- Bugfix 3: refresh-blind probe_ready ---------------------------------
+
+TEST(TimingFixes, ProbeReadyIsRefreshAware) {
+  DramDevice legacy(hbm_with(QueueConfig::off()));
+  DramDevice fixed(hbm_with(fixes_only()));
+  const auto p = legacy.params();
+  // A tick just inside the first refresh window [tREFI, tREFI + tRFC).
+  const Tick window_start = ns_to_ticks(p.trefi_ns);
+  const Tick window_end = window_start + ns_to_ticks(p.trfc_ns);
+  const Tick inside = window_start + 1;
+
+  EXPECT_EQ(legacy.probe_ready(0, inside), inside);      // the bug
+  EXPECT_EQ(fixed.probe_ready(0, inside), window_end);   // the fix
+
+  // The probe stays const: no access, beat or refresh was recorded, and
+  // probing twice returns the same answer.
+  EXPECT_EQ(fixed.stats().accesses, 0u);
+  EXPECT_EQ(fixed.stats().refreshes, 0u);
+  EXPECT_EQ(fixed.probe_ready(0, inside), window_end);
+
+  // Outside any window the fixed probe is unchanged.
+  EXPECT_EQ(fixed.probe_ready(0, 500), 500u);
+}
+
+// --- FR-FCFS arbitration -------------------------------------------------
+
+TEST(ChannelSchedulerTest, FrFcfsPrefersOldestRowHit) {
+  const std::vector<ChannelScheduler::Candidate> c = {
+      {false, 100}, {true, 200}, {true, 300}, {false, 50}};
+  // Index 3 is oldest overall, but index 1 is the oldest open-row hit.
+  EXPECT_EQ(ChannelScheduler::pick_fr_fcfs(c), 1u);
+}
+
+TEST(ChannelSchedulerTest, FrFcfsFallsBackToOldestMiss) {
+  const std::vector<ChannelScheduler::Candidate> c = {
+      {false, 100}, {false, 50}, {false, 75}};
+  EXPECT_EQ(ChannelScheduler::pick_fr_fcfs(c), 1u);
+}
+
+// --- Write-drain hysteresis ----------------------------------------------
+
+/// Minimal backend: one channel, no open rows, fixed 100-tick service.
+class RecordingBackend : public QueueBackend {
+ public:
+  u32 channel_of(Addr) const override { return 0; }
+  bool open_row_hit(Addr addr) const override {
+    return addr == open_row_addr;
+  }
+  Issue issue(Addr addr, u64, AccessType, Tick now) override {
+    issued.push_back(addr);
+    return {now, now + 100};
+  }
+  std::vector<Addr> issued;
+  Addr open_row_addr = kAddrInvalid;
+};
+
+QueueConfig small_queue() {
+  QueueConfig q = QueueConfig::fr_fcfs();
+  q.queue_depth = 8;
+  q.write_high_watermark = 4;
+  q.write_low_watermark = 2;
+  return q;
+}
+
+TEST(ChannelSchedulerTest, WritesPostBelowHighWatermark) {
+  ChannelScheduler sched(small_queue(), 1);
+  RecordingBackend dev;
+  for (int i = 0; i < 3; ++i) {
+    const auto r = sched.on_write(static_cast<Addr>(i) * 64, 64,
+                                  1000 + static_cast<Tick>(i), dev);
+    // Posted semantics: accepted immediately, no device issue.
+    EXPECT_EQ(r.start, 1000 + static_cast<Tick>(i));
+    EXPECT_EQ(r.complete, r.start);
+  }
+  EXPECT_TRUE(dev.issued.empty());
+  EXPECT_EQ(sched.write_queue_len(0), 3u);
+  EXPECT_EQ(sched.stats().write_drain_count, 0u);
+}
+
+TEST(ChannelSchedulerTest, HighWatermarkDrainsToLowWatermark) {
+  ChannelScheduler sched(small_queue(), 1);
+  RecordingBackend dev;
+  for (int i = 0; i < 4; ++i) {
+    sched.on_write(static_cast<Addr>(i) * 64, 64,
+                   1000 + static_cast<Tick>(i), dev);
+  }
+  // The 4th write crossed hi=4: one episode drained down to lo=2.
+  EXPECT_EQ(sched.stats().write_drain_count, 1u);
+  EXPECT_EQ(sched.write_queue_len(0), 2u);
+  EXPECT_EQ(dev.issued.size(), 2u);
+  EXPECT_EQ(sched.stats().writes_drained, 2u);
+  // Oldest-first under all-miss FR-FCFS.
+  EXPECT_EQ(dev.issued[0], 0u);
+  EXPECT_EQ(dev.issued[1], 64u);
+}
+
+TEST(ChannelSchedulerTest, DrainPrefersOpenRowHitOverOlderWrite) {
+  ChannelScheduler sched(small_queue(), 1);
+  RecordingBackend dev;
+  dev.open_row_addr = 2 * 64;  // the 3rd (youngest but row-hitting) write
+  for (int i = 0; i < 4; ++i) {
+    sched.on_write(static_cast<Addr>(i) * 64, 64,
+                   1000 + static_cast<Tick>(i), dev);
+  }
+  ASSERT_EQ(dev.issued.size(), 2u);
+  EXPECT_EQ(dev.issued[0], 2u * 64);  // row hit first...
+  EXPECT_EQ(dev.issued[1], 0u);       // ...then the oldest miss
+}
+
+TEST(ChannelSchedulerTest, DrainAllFlushesWithoutCountingAnEpisode) {
+  ChannelScheduler sched(small_queue(), 1);
+  RecordingBackend dev;
+  for (int i = 0; i < 3; ++i) {
+    sched.on_write(static_cast<Addr>(i) * 64, 64, 1000, dev);
+  }
+  sched.drain_all(2000, dev);
+  EXPECT_EQ(sched.write_queue_len(0), 0u);
+  EXPECT_EQ(dev.issued.size(), 3u);
+  EXPECT_EQ(sched.stats().write_drain_count, 0u);
+  EXPECT_EQ(sched.stats().writes_drained, 3u);
+}
+
+// --- MSHR coalescing -----------------------------------------------------
+
+TEST(ChannelSchedulerTest, SameBlockReadsCoalesceIntoOneFill) {
+  DramDevice dev(hbm_with(QueueConfig::fr_fcfs()));
+  const int n = 4;
+  AccessResult first{};
+  for (int i = 0; i < n; ++i) {
+    const auto r = dev.access(0, 64, AccessType::kRead, 1000);
+    if (i == 0) {
+      first = r;
+    } else {
+      // Piggybacked reads ride the in-flight fill's completion.
+      EXPECT_EQ(r.complete, first.complete);
+    }
+  }
+  ASSERT_NE(dev.queue_stats(), nullptr);
+  EXPECT_EQ(dev.queue_stats()->reads_issued, 1u);
+  EXPECT_EQ(dev.queue_stats()->reads_coalesced, 3u);
+  // One beat moved, one block of bytes accounted — no amplification.
+  EXPECT_EQ(dev.stats().beats, 1u);
+  EXPECT_EQ(dev.stats().read_bytes[0], 64u);
+  // Every request still counts as an access.
+  EXPECT_EQ(dev.stats().accesses, 4u);
+}
+
+TEST(ChannelSchedulerTest, DifferentBlocksDoNotCoalesce) {
+  DramDevice dev(hbm_with(QueueConfig::fr_fcfs()));
+  dev.access(0, 64, AccessType::kRead, 1000);
+  dev.access(4096, 64, AccessType::kRead, 1000);
+  EXPECT_EQ(dev.queue_stats()->reads_issued, 2u);
+  EXPECT_EQ(dev.queue_stats()->reads_coalesced, 0u);
+}
+
+TEST(ChannelSchedulerTest, CompletedFillsDoNotServeLaterReads) {
+  DramDevice dev(hbm_with(QueueConfig::fr_fcfs()));
+  const auto r1 = dev.access(0, 64, AccessType::kRead, 1000);
+  // Well after the fill landed: the MSHR has expired, a fresh fill issues.
+  dev.access(0, 64, AccessType::kRead, r1.complete + ns_to_ticks(100));
+  EXPECT_EQ(dev.queue_stats()->reads_issued, 2u);
+  EXPECT_EQ(dev.queue_stats()->reads_coalesced, 0u);
+}
+
+// --- Device integration --------------------------------------------------
+
+TEST(ChannelSchedulerTest, DrainQueuesFlushesPostedWrites) {
+  QueueConfig q = QueueConfig::fr_fcfs();
+  DramDevice dev(hbm_with(q));
+  const u64 beats_before = dev.stats().beats;
+  const auto r = dev.access(0, 64, AccessType::kWrite, 1000);
+  // Posted: accepted instantly, no beat yet.
+  EXPECT_EQ(r.complete, 1000u);
+  EXPECT_EQ(dev.stats().beats, beats_before);
+  EXPECT_EQ(dev.stats().write_bytes[0], 64u);  // bytes account at arrival
+  dev.drain_queues(ns_to_ticks(10));
+  EXPECT_EQ(dev.stats().beats, beats_before + 1);
+}
+
+TEST(ChannelSchedulerTest, ResetStatsClearsSchedulerCounters) {
+  DramDevice dev(hbm_with(QueueConfig::fr_fcfs()));
+  dev.access(0, 64, AccessType::kRead, 1000);
+  dev.reset_stats();
+  EXPECT_EQ(dev.queue_stats()->reads_issued, 0u);
+  EXPECT_EQ(dev.queue_stats()->queue_length_samples, 0u);
+}
+
+}  // namespace
+}  // namespace bb::mem
