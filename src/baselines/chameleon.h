@@ -31,6 +31,12 @@ class ChameleonController final : public hmm::HybridMemoryController {
   /// The full remapping table + counters, if SRAM-resident.
   u64 metadata_sram_bytes() const override;
 
+  /// Base reset plus the metadata model's lookup/latency stats.
+  void reset_stats() override {
+    HybridMemoryController::reset_stats();
+    meta_->reset_stats();
+  }
+
   u32 set_count() const { return sets_; }
   u32 segments_per_set() const { return m_ + 1; }
 

@@ -38,6 +38,12 @@ class Hybrid2Controller final : public hmm::HybridMemoryController {
   /// real design keeps a 512 KB SRAM cache in front of it).
   u64 metadata_sram_bytes() const override;
 
+  /// Base reset plus the metadata model's lookup/latency stats.
+  void reset_stats() override {
+    HybridMemoryController::reset_stats();
+    meta_->reset_stats();
+  }
+
   u32 remap_sets() const { return sets_; }
   u32 dram_pages_per_set() const { return m_; }
 

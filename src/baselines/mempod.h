@@ -35,6 +35,13 @@ class MemPodController final : public hmm::HybridMemoryController {
   u32 pod_count() const { return cfg_.pods; }
   u64 interval_migrations() const { return interval_migrations_; }
 
+  /// Base reset plus the cumulative migration counter (it parallels
+  /// stats().swaps, which the base reset clears).
+  void reset_stats() override {
+    HybridMemoryController::reset_stats();
+    interval_migrations_ = 0;
+  }
+
  protected:
   hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
 

@@ -35,6 +35,12 @@ class SilcFmController final : public hmm::HybridMemoryController {
 
   u64 metadata_sram_bytes() const override;
 
+  /// Base reset plus the metadata model's lookup/latency stats.
+  void reset_stats() override {
+    HybridMemoryController::reset_stats();
+    meta_->reset_stats();
+  }
+
   u32 set_count() const { return sets_; }
   u32 blocks_per_set() const { return m_ + 1; }
 

@@ -555,6 +555,7 @@ void BumblebeeController::cache_block(SetState& st, u32 set, u32 page,
   ++mutable_stats().blocks_fetched;
   ++mutable_stats().fetched_blocks_used;
   ++bstats_.block_fetches;
+  verify_set(st, set, "cache_block");
 }
 
 void BumblebeeController::maybe_promote_cached(SetState& st, u32 set, u32 ck,
@@ -740,10 +741,21 @@ bool BumblebeeController::retire_hbm_frame(SetState& st, u32 set, u32 k,
 }
 
 hmm::FaultPosture BumblebeeController::fault_posture() const {
+  // Derived from the per-set remap state, not from bstats_: the posture is
+  // structural (retired frames stay retired across a warmup stat reset),
+  // while bstats_ counts events in the measured phase only.
   hmm::FaultPosture p;
-  p.retired_frames = bstats_.frame_retirements;
-  p.degraded_sets = bstats_.sets_degraded;
+  for (const SetState& st : sets_) {
+    p.retired_frames += st.retired_frames;
+    if (st.degraded) ++p.degraded_sets;
+  }
   return p;
+}
+
+void BumblebeeController::reset_stats() {
+  HybridMemoryController::reset_stats();
+  bstats_ = BumblebeeStats{};
+  meta_->reset_stats();
 }
 
 void BumblebeeController::flush_set_chbm(SetState& st, u32 set, Tick now) {

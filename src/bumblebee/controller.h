@@ -100,6 +100,11 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   /// Frames retired / sets degraded by fault handling (see FaultPosture).
   hmm::FaultPosture fault_posture() const override;
 
+  /// Base reset plus the Bumblebee movement counters and the metadata
+  /// model's stats. The remap state itself (PRT/BLE/hot tables, retired
+  /// frames) survives: it is state, not statistics.
+  void reset_stats() override;
+
  protected:
   hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
 

@@ -13,6 +13,13 @@ namespace bb {
 /// Simulation time in picoseconds.
 using Tick = std::uint64_t;
 
+/// Fractional nanoseconds, for exported latencies and timing parameters.
+/// Semantically distinct from Tick: the tick-narrowing analysis rule
+/// (tools/bb_analyze) flags arithmetic that narrows either; declaring a
+/// quantity as Ns documents the unit at the interface instead of forcing a
+/// cast at every use site.
+using Ns = double;
+
 /// Physical (or OS-visible flat) byte address.
 using Addr = std::uint64_t;
 
@@ -34,12 +41,12 @@ inline constexpr u64 GiB = 1024 * MiB;
 inline constexpr Tick kTicksPerNs = 1000;
 
 /// Converts nanoseconds (possibly fractional) to ticks, rounding to nearest.
-constexpr Tick ns_to_ticks(double ns) {
+constexpr Tick ns_to_ticks(Ns ns) {
   return static_cast<Tick>(ns * static_cast<double>(kTicksPerNs) + 0.5);
 }
 
 /// Converts ticks to (fractional) nanoseconds.
-constexpr double ticks_to_ns(Tick t) {
+constexpr Ns ticks_to_ns(Tick t) {
   return static_cast<double>(t) / static_cast<double>(kTicksPerNs);
 }
 

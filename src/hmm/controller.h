@@ -228,6 +228,7 @@ class HybridMemoryController {
   virtual void reset_stats() {
     stats_ = HmmStats{};
     for (auto& cs : core_stats_) cs = CoreStats{};
+    paging_.reset_stats();
   }
   const PagingModel& paging() const { return paging_; }
   mem::DramDevice& hbm() { return hbm_; }

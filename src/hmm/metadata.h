@@ -60,6 +60,14 @@ class MetadataModel {
   const MetadataStats& stats() const { return stats_; }
   const MetadataConfig& config() const { return cfg_; }
 
+  /// Clears the lookup/latency counters (and the SRAM metadata cache's hit
+  /// stats) at a warmup boundary; the cache contents survive, matching the
+  /// warmed-up devices.
+  void reset_stats() {
+    stats_ = MetadataStats{};
+    if (sram_cache_) sram_cache_->reset_stats();
+  }
+
  private:
   Addr key_to_hbm_addr(u64 key) const {
     return cfg_.hbm_base + key * cfg_.entry_bytes;

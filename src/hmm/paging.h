@@ -48,6 +48,11 @@ class PagingModel {
   const PagingStats& stats() const { return stats_; }
   const PagingConfig& config() const { return cfg_; }
 
+  /// Clears the fault counters at a warmup boundary. The resident set and
+  /// clock ring survive — the OS does not forget which pages are resident
+  /// when measurement starts.
+  void reset_stats() { stats_ = PagingStats{}; }
+
  private:
   TraceSink* trace_ = nullptr;
   PagingConfig cfg_;

@@ -36,7 +36,7 @@ struct DramTimingParams {
   u32 burst_length = 8;       ///< transfers per column command
 
   // Clock.
-  double tck_ns = 1.0;  ///< clock period; data rate is 2 transfers per tCK
+  Ns tck_ns = 1.0;  ///< clock period; data rate is 2 transfers per tCK
 
   // Core timings, in tCK cycles.
   u32 tCAS = 7;
@@ -47,8 +47,8 @@ struct DramTimingParams {
   u32 tRTW = 2;   ///< read-to-write turnaround on the bus
 
   // Refresh: every tREFI the channel stalls for tRFC (all banks).
-  double trefi_ns = 3900.0;
-  double trfc_ns = 350.0;
+  Ns trefi_ns = 3900.0;
+  Ns trfc_ns = 350.0;
   bool refresh_enabled = true;
 
   // Power (JEDEC spec values): VDD in volts, IDD in milliamperes. IDD

@@ -74,9 +74,9 @@ struct CorePerf {
   u64 misses = 0;
   double ipc = 0;
   double hbm_serve_rate = 0;
-  double mean_latency_ns = 0;
-  double latency_p50_ns = 0;
-  double latency_p99_ns = 0;
+  Ns mean_latency_ns = 0;
+  Ns latency_p50_ns = 0;
+  Ns latency_p99_ns = 0;
   u64 hbm_bytes = 0;   ///< device bytes caused by this core's requests
   u64 dram_bytes = 0;
 };
@@ -94,13 +94,13 @@ struct RunResult {
   u64 dram_bytes = 0;       ///< total off-chip traffic
   double energy_mj = 0;     ///< memory dynamic energy, millijoules
   double hbm_serve_rate = 0;
-  double mean_latency_ns = 0;
+  Ns mean_latency_ns = 0;
   // Per-request latency percentiles (ns), interpolated from the
   // controller's latency histogram.
-  double latency_p50_ns = 0;
-  double latency_p90_ns = 0;
-  double latency_p99_ns = 0;
-  double latency_p999_ns = 0;
+  Ns latency_p50_ns = 0;
+  Ns latency_p90_ns = 0;
+  Ns latency_p99_ns = 0;
+  Ns latency_p999_ns = 0;
   double mal_fraction = 0;  ///< metadata share of request latency
   double overfetch = 0;     ///< unused fraction of fetched blocks
   u64 page_faults = 0;
@@ -110,8 +110,8 @@ struct RunResult {
   // zero when the queue layer is off; the stat names follow ramulator's
   // HBM_Memory.h). Exported to CSV/JSON only when queues are configured,
   // so legacy outputs stay byte-identical.
-  double queueing_latency_avg = 0;    ///< ns, reads + posted writes
-  double read_queue_latency_avg = 0;  ///< ns, reads only
+  Ns queueing_latency_avg = 0;        ///< ns, reads + posted writes
+  Ns read_queue_latency_avg = 0;      ///< ns, reads only
   double req_queue_length_avg = 0;    ///< queue+MSHR occupancy per arrival
   u64 write_drain_count = 0;          ///< watermark-triggered drain episodes
 

@@ -181,6 +181,23 @@ TEST_F(BaselineFixture, ChameleonMetadataExceedsSram) {
   EXPECT_GT(c.metadata_sram_bytes(), 512 * KiB);
 }
 
+TEST_F(BaselineFixture, ChameleonResetStatsClearsCountersKeepsPlacement) {
+  // Regression for the warmup-reset path: the override must clear both the
+  // base HmmStats and the metadata model's counters, while segment
+  // placement survives (bb_analyze stats-reset rule).
+  ChameleonController c(hbm_, dram_);
+  const u64 m = c.segments_per_set() - 1;
+  const Addr a = m * 2 * KiB;  // HBM-native segment
+  c.access(a, AccessType::kRead, 0);
+  EXPECT_GT(c.stats().requests, 0u);
+  EXPECT_GT(c.stats().total_metadata_latency, 0u);
+  c.reset_stats();
+  EXPECT_EQ(c.stats().requests, 0u);
+  EXPECT_EQ(c.stats().total_metadata_latency, 0u);
+  // Placement survived: the segment is still served from HBM.
+  EXPECT_TRUE(c.access(a, AccessType::kRead, 100000).served_by_hbm);
+}
+
 // ---------------------------------------------------------------- Hybrid2
 
 TEST_F(BaselineFixture, Hybrid2CacheMissFillsBlock) {

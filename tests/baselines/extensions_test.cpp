@@ -155,6 +155,27 @@ TEST_P(ExtensionSmokeTest, RandomLoadRuns) {
   EXPECT_EQ(c->stats().requests, 5000u);
 }
 
+TEST_F(ExtensionFixture, MemPodResetStatsClearsIntervalMigrations) {
+  // Regression for the warmup-reset path: interval_migrations_ is a raw
+  // counter and must be cleared by reset_stats() along with the base stats
+  // (bb_analyze stats-reset rule).
+  MemPodConfig cfg;
+  cfg.interval = ns_to_ticks(10'000.0);
+  MemPodController c(hbm_, dram_, hmm::PagingConfig{}, cfg);
+  const Addr a = (3 * cfg.pods) * 2 * KiB;  // a far (DRAM-slice) page
+  Tick now = 0;
+  for (int i = 0; i < 64; ++i) {
+    now += ns_to_ticks(500.0);
+    c.access(a, AccessType::kRead, now);
+  }
+  now += cfg.interval * 2;
+  c.access(a, AccessType::kRead, now);
+  ASSERT_GT(c.interval_migrations(), 0u);
+  c.reset_stats();
+  EXPECT_EQ(c.interval_migrations(), 0u);
+  EXPECT_EQ(c.stats().requests, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(Extensions, ExtensionSmokeTest,
                          ::testing::Values("PoM", "MemPod"));
 

@@ -444,5 +444,25 @@ TEST_F(OsSwapOutTest, SwapOutWritesBackDirtyCacheBlocks) {
   EXPECT_TRUE(c.check_invariants());
 }
 
+TEST_F(BumblebeeTest, ResetStatsClearsCountersKeepsPlacement) {
+  // Regression for the warmup-reset path: reset_stats() must clear the
+  // Bumblebee movement counters and the metadata model's counters while
+  // PRT/BLE/hot-table placement state survives (bb_analyze stats-reset
+  // rule).
+  auto c = make();
+  c->access(0, AccessType::kRead, 1000);
+  c->access(0, AccessType::kRead, 2000);
+  EXPECT_GT(c->bb_stats().prt_misses, 0u);
+  EXPECT_GT(c->metadata().stats().lookups, 0u);
+  c->reset_stats();
+  EXPECT_EQ(c->bb_stats().prt_misses, 0u);
+  EXPECT_EQ(c->metadata().stats().lookups, 0u);
+  EXPECT_EQ(c->stats().requests, 0u);
+  // Placement survived: the page is still allocated and the structural
+  // invariants still hold.
+  EXPECT_TRUE(c->locate(0).allocated);
+  EXPECT_TRUE(c->check_invariants());
+}
+
 }  // namespace
 }  // namespace bb::bumblebee

@@ -103,5 +103,29 @@ TEST(FaultDegradationTest, FaultFreeRunHasZeroReliabilityCounters) {
   EXPECT_EQ(r.degraded_sets, 0u);
 }
 
+TEST(FaultDegradationTest, FaultPostureSurvivesStatReset) {
+  // fault_posture() is derived from per-set structural state (retired
+  // frames, degraded flags), not from the resettable event counters — so a
+  // warmup-boundary reset_stats() must zero bstats_ without erasing the
+  // degradation posture.
+  sim::SystemConfig cfg = small_cfg();
+  cfg.fault = fault::FaultConfig::profile("dead-bank", 0.25, 1);
+
+  sim::System system(cfg);
+  system.run("Bumblebee", trace::WorkloadProfile::by_name("mcf"), 300'000);
+  auto* bb = dynamic_cast<BumblebeeController*>(system.last_controller());
+  ASSERT_NE(bb, nullptr);
+  const hmm::FaultPosture before = bb->fault_posture();
+  ASSERT_GE(before.retired_frames, 1u);
+
+  bb->reset_stats();
+  EXPECT_EQ(bb->bb_stats().frame_retirements, 0u);
+  EXPECT_EQ(bb->bb_stats().sets_degraded, 0u);
+  const hmm::FaultPosture after = bb->fault_posture();
+  EXPECT_EQ(after.retired_frames, before.retired_frames);
+  EXPECT_EQ(after.degraded_sets, before.degraded_sets);
+  EXPECT_TRUE(bb->check_invariants());
+}
+
 }  // namespace
 }  // namespace bb::bumblebee

@@ -94,5 +94,29 @@ TEST(Metadata, MeanLatencyTracksTotal) {
   EXPECT_EQ(m.stats().total_latency, 200u);
 }
 
+TEST(Metadata, ResetStatsClearsCountersKeepsCache) {
+  // Regression for the warmup-reset path: reset_stats() must clear the
+  // lookup/latency counters (including the SRAM metadata cache's hit
+  // stats) while the warmed cache contents survive (bb_analyze stats-reset
+  // rule).
+  mem::DramDevice hbm(mem::DramTimingParams::hbm2_1gb());
+  MetadataConfig cfg;
+  cfg.placement = MetadataPlacement::kSramCachedHbm;
+  MetadataModel m(cfg, &hbm);
+  m.lookup(7, 1000);  // miss fills the SRAM metadata cache
+  m.lookup(7, 2000);  // hit
+  EXPECT_EQ(m.stats().lookups, 2u);
+  EXPECT_EQ(m.stats().sram_hits, 1u);
+  m.reset_stats();
+  EXPECT_EQ(m.stats().lookups, 0u);
+  EXPECT_EQ(m.stats().sram_hits, 0u);
+  EXPECT_EQ(m.stats().hbm_accesses, 0u);
+  EXPECT_EQ(m.stats().total_latency, 0u);
+  // Cache contents survived the reset: the same key still hits in SRAM.
+  m.lookup(7, 3000);
+  EXPECT_EQ(m.stats().sram_hits, 1u);
+  EXPECT_EQ(m.stats().hbm_accesses, 0u);
+}
+
 }  // namespace
 }  // namespace bb::hmm

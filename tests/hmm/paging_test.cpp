@@ -97,5 +97,25 @@ TEST(Paging, HighVisibilityAbsorbsLargeFootprint) {
   EXPECT_GT(ps.stats().faults, 0u);
 }
 
+TEST(Paging, ResetStatsClearsCountersKeepsResidency) {
+  // Regression for the warmup-reset path: reset_stats() must clear the
+  // fault/first-touch counters without touching the resident set or the
+  // clock hand (bb_analyze stats-reset rule).
+  PagingModel p(tiny(2));
+  p.touch(0 * 4 * KiB);
+  p.touch(1 * 4 * KiB);
+  p.touch(2 * 4 * KiB);  // capacity fault evicts one resident page
+  EXPECT_EQ(p.stats().first_touches, 2u);
+  EXPECT_EQ(p.stats().faults, 1u);
+  p.reset_stats();
+  EXPECT_EQ(p.stats().first_touches, 0u);
+  EXPECT_EQ(p.stats().faults, 0u);
+  // The resident set survived: re-touching the just-admitted page is free
+  // and is neither a fault nor a first touch.
+  EXPECT_EQ(p.touch(2 * 4 * KiB), 0u);
+  EXPECT_EQ(p.stats().faults, 0u);
+  EXPECT_EQ(p.stats().first_touches, 0u);
+}
+
 }  // namespace
 }  // namespace bb::hmm

@@ -1,9 +1,9 @@
-// lint-expect: 6
+// analyze-expect: determinism=6
 //
-// Negative fixture for tools/lint_determinism: every banned pattern in one
-// file, plus allowlisted uses that must NOT be flagged. The CI lint job runs
-// the tool against this file and fails the build if the tool does not fail.
-// This file is never compiled.
+// Positive fixture for the determinism rule: every banned pattern in one
+// file, plus allowlisted uses that must NOT be flagged. The CI analysis job
+// runs bb_analyze --self-test against this file and fails the build if the
+// rule does not fire. This file is never compiled.
 #include <chrono>
 #include <cstdlib>
 #include <ctime>

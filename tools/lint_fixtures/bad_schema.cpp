@@ -1,0 +1,43 @@
+// analyze-expect: schema=3
+//
+// Positive fixture for the schema rule, shaped like src/sim/experiment.cpp:
+// (1) result_to_json emits a key write_csv's header lacks, (2) the 'fault'
+// column gate is computed differently in write_csv and write_json, and
+// (3) parse_run_result never reads the extra key, so journal resume would
+// silently zero it. Never compiled.
+#include <string>
+
+std::string result_to_json(const RunResult& r, bool include_fault,
+                           bool include_queue) {
+  std::string out = "{";
+  out += "\"design\":\"" + json_escape(r.design) + "\",";
+  out += "\"ipc\":" + json_double(r.ipc) + ',';
+  out += "\"bonus_metric\":" + json_double(r.bonus) + ',';  // CSV lacks this
+  if (include_fault) {
+    out += "\"ce_count\":" + std::to_string(r.ce_count) + ',';
+  }
+  out += '}';
+  return out;
+}
+
+bool parse_run_result(const JsonValue& v, RunResult& r) {
+  r.design = v.get_string("design");
+  r.ipc = v.get_number("ipc");
+  r.ce_count = v.get_number("ce_count");
+  return true;  // never reads bonus_metric
+}
+
+void ExperimentRunner::write_csv(std::ostream& os) const {
+  const bool fault = cfg_.fault.enabled();
+  std::vector<std::string> header = {"design", "ipc"};
+  if (fault) {
+    header.insert(header.end(), {"ce_count"});
+  }
+  TextTable t(header);
+  t.print_csv(os);
+}
+
+void ExperimentRunner::write_json(std::ostream& os) const {
+  const bool fault = cfg_.fault.enabled() || legacy_mode_;  // gate drift
+  os << result_to_json(results_[0], fault, false);
+}

@@ -1,0 +1,34 @@
+// analyze-expect: stats-reset=3
+//
+// Positive fixture for the stats-reset rule: a class whose reset_stats()
+// forgets a *Stats member and a raw counter, plus a derived class that
+// inherits reset_stats() without overriding it. Never compiled. This is
+// also the file the tools.bb_analyze_detects_unreset_counter ctest runs
+// the analyzer against, expecting a nonzero exit.
+#pragma once
+
+struct WidgetStats {
+  unsigned long hits = 0;
+};
+
+class LeakyWidget {
+ public:
+  void reset_stats() { total_ = 0; }  // forgets stats_ and hits_count_
+  void record() {
+    ++hits_count_;
+    stats_.hits += 1;
+  }
+
+ private:
+  WidgetStats stats_;             // finding: stat-bearing member not reset
+  unsigned long hits_count_ = 0;  // finding: raw counter not reset
+  unsigned long total_ = 0;       // reset; must not be flagged
+};
+
+class DerivedLeak : public LeakyWidget {
+ public:
+  void bump() { ++derived_count_; }
+
+ private:
+  unsigned long derived_count_ = 0;  // finding: inherited reset, no override
+};

@@ -1,0 +1,14 @@
+// analyze-expect: tick-narrowing=2
+//
+// Positive fixture for the tick-narrowing rule: ticks are uint64
+// picoseconds, so 32-bit or signed narrowing on tick/latency/ns values
+// overflows after ~4.3 ms of simulated time. Never compiled.
+
+unsigned bad_cast(unsigned long long latency_ticks) {
+  return static_cast<unsigned>(latency_ticks);  // finding: narrowing cast
+}
+
+unsigned long long bad_decl(unsigned long long total_ns) {
+  int window_ns = total_ns / 2;  // finding: narrow-typed tick declaration
+  return static_cast<unsigned long long>(window_ns);
+}

@@ -1,0 +1,27 @@
+// analyze-expect: determinism=0
+//
+// Negative fixture for the determinism rule: deterministic idioms and
+// properly justified suppressions that must all pass. Never compiled.
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+// Ordered container iteration is reproducible; no marker needed.
+double ok_ordered_iteration(const std::map<int, double>& m) {
+  double s = 0;
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+// steady_clock feeds stderr progress reporting only, which the wall-clock
+// pattern deliberately does not match.
+long ok_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// bb-analyze-ok(determinism): pure keyed lookup cache, never iterated into
+// results; the new-style marker must suppress exactly like the legacy one.
+std::unordered_map<int, int> ok_new_marker_form;
+
+// determinism-ok: legacy marker form, still honored by the engine.
+std::unordered_map<int, int> ok_legacy_marker_form;

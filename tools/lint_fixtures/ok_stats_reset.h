@@ -1,0 +1,37 @@
+// analyze-expect: stats-reset=0
+//
+// Negative fixture for the stats-reset rule: every stat member is reset,
+// a '*this = T{}' wholesale reset counts as resetting everything, and a
+// justified suppression marker covers deterministic state. Never compiled.
+#pragma once
+
+struct GaugeStats {
+  unsigned long samples = 0;
+};
+
+class CleanWidget {
+ public:
+  void reset_stats() {
+    stats_ = GaugeStats{};
+    ticks_count_ = 0;
+  }
+  void record() { ++ticks_count_; }
+  void step() { ++cursor_; }
+
+ private:
+  GaugeStats stats_;
+  unsigned long ticks_count_ = 0;
+  // bb-analyze-ok(stats-reset): rotation cursor over work items —
+  // deterministic state that must survive stat resets, not a statistic.
+  unsigned long cursor_ = 0;
+};
+
+class WholesaleReset {
+ public:
+  void reset() { *this = WholesaleReset{}; }
+  void record() { ++events_count_; }
+
+ private:
+  GaugeStats stats_;
+  unsigned long events_count_ = 0;
+};

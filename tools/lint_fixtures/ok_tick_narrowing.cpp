@@ -1,0 +1,25 @@
+// analyze-expect: tick-narrowing=0
+//
+// Negative fixture for the tick-narrowing rule: wide tick arithmetic,
+// widening casts, narrow types on non-tick quantities, and one justified
+// suppression. Never compiled.
+
+unsigned long long ok_wide_math(unsigned long long latency_ticks) {
+  unsigned long long doubled = latency_ticks * 2;  // stays 64-bit
+  return doubled;
+}
+
+double ok_widening_cast(unsigned long long total_ns) {
+  return static_cast<double>(total_ns);  // widening, not narrowing
+}
+
+unsigned ok_non_tick(unsigned long long ways) {
+  unsigned w = ways & 0xffu;  // narrow, but not a tick quantity
+  return static_cast<unsigned>(ways % 8);
+}
+
+unsigned ok_suppressed(unsigned long long latency_ticks) {
+  // bb-analyze-ok(tick-narrowing): histogram bucket index, bounded by the
+  // bucket count (64), not a time value.
+  return static_cast<unsigned>(bucket_of(latency_ticks));
+}
