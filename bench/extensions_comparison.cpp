@@ -5,12 +5,15 @@
 #include <iostream>
 
 #include "baselines/factory.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "sim/system.h"
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 60'000);
   sim::SystemConfig sys_cfg;
   sys_cfg.warmup_ratio =
@@ -47,4 +50,10 @@ int main() {
   }
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "extensions_comparison", run);
 }

@@ -17,14 +17,16 @@
 #include <map>
 #include <utility>
 
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   const std::vector<std::string> designs = {"DRAM-only", "Bumblebee",
                                             "Banshee"};
   const std::vector<std::string> workload_names = {"mcf", "lbm"};
@@ -82,4 +84,10 @@ int main(int argc, char** argv) {
                "falls back to off-chip DRAM once a set degrades, so rising\n"
                "fault rates cost IPC but not forward progress.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "fault_sweep", run);
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cache/cache.h"
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sim/system.h"
@@ -21,7 +22,9 @@
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   const u64 base_misses = sim::env_u64("BB_TARGET_MISSES", 1'000'000);
   const std::vector<u64> line_sizes = {64,       256,      1 * KiB,
                                        4 * KiB,  16 * KiB, 64 * KiB};
@@ -72,4 +75,10 @@ int main() {
     table.print(std::cout);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "fig1_access_distribution", run);
 }

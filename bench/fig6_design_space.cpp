@@ -13,6 +13,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -20,8 +21,9 @@
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   sim::SystemConfig sys_cfg;
   // Steady-state measurement: warm up several multiples of the measured
   // window (BB_WARMUP_PCT, percent of the measured instructions).
@@ -75,4 +77,10 @@ int main(int argc, char** argv) {
   std::cout << "\nFigure 6: normalized IPC for block-page configurations\n";
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "fig6_design_space", run);
 }

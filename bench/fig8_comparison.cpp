@@ -14,14 +14,16 @@
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   sim::SystemConfig sys_cfg;
   // Steady-state measurement: warm up several multiples of the measured
   // window (BB_WARMUP_PCT, percent of the measured instructions).
@@ -97,4 +99,10 @@ int main(int argc, char** argv) {
                "traffic and 9.1% less off-chip traffic than the best; "
                "10.9%~20.1% less memory dynamic energy.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "fig8_comparison", run);
 }

@@ -6,14 +6,16 @@
 // Flags: --jobs N (worker threads, default = all hardware threads).
 #include <iostream>
 
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   const std::vector<std::string> workload_names = {"mcf", "wrf", "roms"};
   std::vector<trace::WorkloadProfile> workloads;
   for (const auto& name : workload_names) {
@@ -60,4 +62,10 @@ int main(int argc, char** argv) {
                "marginal data and the advantage narrows — a capacity-aware\n"
                "admission policy is an obvious extension.\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "hbm_capacity_sweep", run);
 }

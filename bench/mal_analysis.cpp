@@ -10,12 +10,15 @@
 #include <vector>
 
 #include "baselines/factory.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "sim/system.h"
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 50'000);
   sim::SystemConfig sys_cfg;
   // Steady-state measurement: warm up several multiples of the measured
@@ -52,4 +55,10 @@ int main() {
   }
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "mal_analysis", run);
 }

@@ -9,12 +9,15 @@
 
 #include "baselines/factory.h"
 #include "bumblebee/config.h"
+#include "common/cli.h"
 #include "common/table.h"
 #include "mem/dram_device.h"
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   std::cout << "Bumblebee metadata budget by configuration "
                "(paper: 334 KB total at 2-64)\n";
   TextTable bb_table({"block-page (KB)", "PRT", "BLE array", "hotness",
@@ -67,4 +70,10 @@ int main() {
   }
   cmp.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "metadata_size", run);
 }

@@ -22,14 +22,16 @@
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   sim::SystemConfig sys_cfg;
   sys_cfg.warmup_ratio =
       static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 300)) / 100.0;
@@ -122,4 +124,10 @@ int main(int argc, char** argv) {
                                                 "configuration)")
             << "\n";
   return bumblebee_ws >= best_split_ws ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "mix_comparison", run);
 }

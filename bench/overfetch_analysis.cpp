@@ -8,13 +8,16 @@
 #include <iostream>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sim/system.h"
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   const u64 target_misses = sim::env_u64("BB_TARGET_MISSES", 80'000);
   sim::SystemConfig sys_cfg;
   // Steady-state measurement: warm up several multiples of the measured
@@ -46,4 +49,10 @@ int main() {
                "eviction (paper: Bumblebee 13.3%, Hybrid2 13.7%)\n";
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "overfetch_analysis", run);
 }

@@ -12,14 +12,16 @@
 #include <iostream>
 
 #include "bumblebee/config.h"
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "sim/experiment.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
+
+int run(const Flags& flags) {
   sim::SystemConfig sys_cfg;
   sys_cfg.warmup_ratio =
       static_cast<double>(sim::env_u64("BB_WARMUP_PCT", 200)) / 100.0;
@@ -82,4 +84,10 @@ int main(int argc, char** argv) {
   sweep("cHBM->mHBM switch threshold (paper: most blocks cached)", 4, 4);
   sweep("Zombie-page window (set accesses)", 8, 3);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "sensitivity_sweeps", run);
 }

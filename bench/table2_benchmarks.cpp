@@ -3,13 +3,16 @@
 // measured locality axes that drive Figure 1's taxonomy.
 #include <iostream>
 
+#include "common/cli.h"
 #include "common/table.h"
 #include "sim/system.h"
 #include "trace/generator.h"
 
 using namespace bb;
 
-int main() {
+namespace {
+
+int run(const Flags&) {
   const u64 sample = sim::env_u64("BB_TARGET_MISSES", 400'000);
 
   std::cout << "Table II: benchmark characteristics (synthetic profiles)\n";
@@ -32,4 +35,10 @@ int main() {
                "'top-1% page share' approximates temporal locality (miss "
                "share of the hottest 1% of 4 KB pages).\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "table2_benchmarks", run);
 }

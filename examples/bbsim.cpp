@@ -28,7 +28,9 @@
 #include <stdexcept>
 
 #include "baselines/factory.h"
+#include "common/cli.h"
 #include "common/flags.h"
+#include "common/prof.h"
 #include "common/table.h"
 #include "fault/fault.h"
 #include "mem/request_queue.h"
@@ -38,10 +40,9 @@ using namespace bb;
 
 namespace {
 
-constexpr int kExitUsage = 2;
-constexpr int kExitIo = 3;
-constexpr int kExitInternal = 4;
-constexpr int kExitInterrupted = 130;
+constexpr int kExitUsage = cli::kExitUsage;
+constexpr int kExitIo = cli::kExitIo;
+constexpr int kExitInterrupted = cli::kExitInterrupted;
 
 // SIGINT requests cooperative cancellation: the matrix stops claiming new
 // cells, running cells finish and journal, and main exits with 130.
@@ -64,6 +65,10 @@ int run(const Flags& flags) {
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
         "              [--misses=N] [--warmup=PCT] [--cores=N] [--csv]\n"
         "              [--json]  (full per-run results incl. percentiles)\n"
+        "              [--profile]  (host-side profiling: phase breakdown,\n"
+        "               requests/sec, peak RSS on stderr; --json gains a\n"
+        "               separate \"host\" section. Simulated results are\n"
+        "               byte-identical with or without it)\n"
         "              [--jobs=N]  (N worker threads; default: all)\n"
         "              [--epoch-csv=FILE]  (epoch time-series CSV)\n"
         "              [--epoch-requests=N]  (epoch every N requests;\n"
@@ -324,6 +329,15 @@ int run(const Flags& flags) {
   std::signal(SIGINT, on_sigint);
   opts.cancel = [] { return g_interrupted != 0; };
 
+  // Host-side profiling (strictly observational: simulated outputs are
+  // byte-identical with or without it; the golden-run test pins that).
+  const bool profile = flags.has("profile");
+  if (profile) {
+    prof::reset();
+    prof::enable(true);
+  }
+  const prof::Stopwatch run_clock;
+
   if (mix_mode) {
     runner.run_mix_matrix(designs, mixes, opts);
   } else {
@@ -364,6 +378,37 @@ int run(const Flags& flags) {
                                 : sim::ExperimentRunner::TraceFormat::kJsonl);
   }
 
+  // The host report is assembled after the epoch/trace writes so their io
+  // time is included; the stderr summary keeps stdout clean for results.
+  prof::HostReport host;
+  if (profile) {
+    u64 requests = 0;
+    if (mix_mode) {
+      for (const auto& r : runner.mix_results()) requests += r.aggregate.misses;
+    } else {
+      for (const auto& r : runner.results()) requests += r.misses;
+    }
+    host = prof::make_host_report(run_clock.seconds(), requests);
+    std::fprintf(stderr,
+                 "[prof] wall %.3fs, %llu requests, %.0f req/s, "
+                 "peak RSS %.1f MiB\n",
+                 host.wall_seconds,
+                 static_cast<unsigned long long>(host.requests),
+                 host.requests_per_sec,
+                 static_cast<double>(host.peak_rss_bytes) / (1024.0 * 1024.0));
+    const double total_s =
+        static_cast<double>(host.phases.total_ns()) * 1e-9;
+    std::fprintf(stderr, "[prof] phases:");
+    for (std::size_t i = 0; i < prof::kPhaseCount; ++i) {
+      const double s = static_cast<double>(host.phases.ns[i]) * 1e-9;
+      std::fprintf(stderr, " %s %.3fs (%.0f%%)",
+                   prof::to_string(static_cast<prof::Phase>(i)), s,
+                   total_s > 0 ? 100.0 * s / total_s : 0.0);
+    }
+    std::fprintf(stderr, "\n[prof] workers: %zu active\n",
+                 host.worker_busy_ns_by_thread.size());
+  }
+
   if (flags.has("csv")) {
     if (mix_mode) {
       runner.write_mix_csv(std::cout);
@@ -374,9 +419,17 @@ int run(const Flags& flags) {
   }
   if (flags.has("json")) {
     if (mix_mode) {
-      runner.write_mix_json(std::cout);
+      if (profile) {
+        runner.write_mix_json(std::cout, host);
+      } else {
+        runner.write_mix_json(std::cout);
+      }
     } else {
-      runner.write_json(std::cout);
+      if (profile) {
+        runner.write_json(std::cout, host);
+      } else {
+        runner.write_json(std::cout);
+      }
     }
     return 0;
   }
@@ -425,14 +478,5 @@ int run(const Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    const Flags flags(argc, argv);
-    return run(flags);
-  } catch (const std::invalid_argument& e) {
-    std::cerr << "bbsim: " << e.what() << "\n";
-    return kExitUsage;
-  } catch (const std::exception& e) {
-    std::cerr << "bbsim: internal error: " << e.what() << "\n";
-    return kExitInternal;
-  }
+  return cli::cli_main(argc, argv, "bbsim", run);
 }

@@ -1,0 +1,30 @@
+// Shared command-line entry-point contract for every tool in the tree
+// (bbsim and the bench/ harnesses).
+//
+// Exit codes: 0 success, 2 usage error (bad flag / unknown name), 3 I/O
+// error, 4 internal error, 130 interrupted. bbsim documents the contract
+// in --help and tools/check_cli_errors enforces it end-to-end; routing
+// every main() through cli_main keeps the harnesses on the same contract
+// with one-line diagnostics instead of raw uncaught exceptions.
+#pragma once
+
+#include <functional>
+
+#include "common/flags.h"
+
+namespace bb::cli {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitIo = 3;
+inline constexpr int kExitInternal = 4;
+inline constexpr int kExitInterrupted = 130;
+
+/// Parses flags and invokes `run`, mapping escaped exceptions onto the
+/// exit-code contract with a one-line `tool: ...` diagnostic on stderr:
+/// std::invalid_argument → 2 (usage), std::ios_base::failure /
+/// std::filesystem::filesystem_error → 3 (I/O), anything else → 4.
+int cli_main(int argc, char** argv, const char* tool,
+             const std::function<int(const Flags&)>& run);
+
+}  // namespace bb::cli

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics.h"
+#include "common/prof.h"
 #include "common/trace_event.h"
 
 namespace bb::hmm {
@@ -24,6 +25,9 @@ HybridMemoryController::HybridMemoryController(std::string name,
 
 HmmResult HybridMemoryController::access(Addr addr, AccessType type,
                                          Tick now, u32 core_id) {
+  // Host-side phase attribution only; the nested device-timing phase in
+  // DramDevice::access claims its own (exclusive) share of this span.
+  prof::ScopedPhase prof_phase(prof::Phase::kHmmAccess);
   // Per-core byte attribution works by device-counter snapshot: whatever
   // both devices move while service() runs — demand beats plus any fills,
   // writebacks or migrations the design triggers from this request — is

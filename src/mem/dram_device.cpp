@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/metrics.h"
+#include "common/prof.h"
 #include "common/trace_event.h"
 
 namespace bb::mem {
@@ -193,6 +194,7 @@ void DramDevice::drain_queues(Tick now) {
 
 AccessResult DramDevice::access(Addr addr, u64 bytes, AccessType type,
                                 Tick now, TrafficClass cls) {
+  prof::ScopedPhase prof_phase(prof::Phase::kDeviceTiming);
   assert(bytes > 0);
   const u64 beat_bytes = params_.burst_bytes();
   const Addr first = addr & ~(beat_bytes - 1);

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/prof.h"
+
 namespace bb::sim {
 
 CoreModel::CoreModel(const CoreParams& params) : params_(params) {
@@ -96,7 +98,10 @@ CoreResult CoreModel::run_lanes(const std::vector<CoreLane>& lanes,
     }
     CoreState& core = cores[next];
 
-    const trace::TraceRecord rec = core.gen->next();
+    const trace::TraceRecord rec = [&] {
+      prof::ScopedPhase phase(prof::Phase::kTraceGen);
+      return core.gen->next();
+    }();
     total_inst += rec.inst_gap;
 
     // Advance through the gap in segments bounded by ROB retirement: the
@@ -159,7 +164,10 @@ CoreResult CoreModel::run(trace::TraceGenerator& gen, u64 target_instructions,
   std::deque<Outstanding> rob;
 
   while (inst < target_instructions) {
-    const trace::TraceRecord rec = gen.next();
+    const trace::TraceRecord rec = [&] {
+      prof::ScopedPhase phase(prof::Phase::kTraceGen);
+      return gen.next();
+    }();
 
     u64 remaining = rec.inst_gap;
     while (!rob.empty()) {

@@ -1,7 +1,6 @@
 #include "sim/experiment.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <istream>
 #include <map>
@@ -11,6 +10,7 @@
 #include <stdexcept>
 
 #include "common/json.h"
+#include "common/prof.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 
@@ -379,11 +379,18 @@ void ExperimentRunner::run_cells(
                                               opts.max_instructions);
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // Progress/ETA on the host clock via bb::prof (the single sanctioned
+  // wall-clock site), rate-limited to >=1s between prints so tiny cells
+  // don't flood stderr; the final (done == total) line always prints.
+  const prof::Stopwatch stopwatch;
+  double last_report_s = -1.0;
   auto report = [&](std::size_t done) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    const double elapsed = stopwatch.seconds();
+    if (done < total && last_report_s >= 0.0 &&
+        elapsed - last_report_s < 1.0) {
+      return;
+    }
+    last_report_s = elapsed;
     const double eta =
         done ? elapsed / static_cast<double>(done) *
                    static_cast<double>(total - done)
@@ -669,6 +676,7 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
 }
 
 void ExperimentRunner::write_mix_csv(std::ostream& os) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   TextTable t({"design", "mix", "core", "workload", "instructions", "misses",
                "ipc", "alone_ipc", "speedup", "hbm_serve_rate",
                "mean_latency_ns", "latency_p50_ns", "latency_p99_ns",
@@ -695,6 +703,7 @@ void ExperimentRunner::write_mix_csv(std::ostream& os) const {
 }
 
 void ExperimentRunner::write_mix_json(std::ostream& os) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   const bool fault = cfg_.fault.enabled();
   const bool queue = queue_configured();
   os << "[\n";
@@ -732,6 +741,7 @@ std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
 }
 
 void ExperimentRunner::write_csv(std::ostream& os) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   // The reliability / queue columns appear only when the matching subsystem
   // is configured, so legacy CSVs keep their historical column set
   // byte-for-byte.
@@ -792,6 +802,7 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
 }
 
 void ExperimentRunner::write_json(std::ostream& os) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   const bool fault = cfg_.fault.enabled();
   const bool queue = queue_configured();
   os << "[\n";
@@ -802,7 +813,26 @@ void ExperimentRunner::write_json(std::ostream& os) const {
   os << "]\n";
 }
 
+// The profiled overloads stay below the plain writers: tools/bb_analyze's
+// result-schema rule inspects the first definition of each writer, which
+// must remain the canonical (golden-hashed) one.
+
+void ExperimentRunner::write_json(std::ostream& os,
+                                  const prof::HostReport& host) const {
+  os << "{\n\"runs\":\n";
+  write_json(os);
+  os << ",\n\"host\": " << prof::host_report_to_json(host) << "\n}\n";
+}
+
+void ExperimentRunner::write_mix_json(std::ostream& os,
+                                      const prof::HostReport& host) const {
+  os << "{\n\"runs\":\n";
+  write_mix_json(os);
+  os << ",\n\"host\": " << prof::host_report_to_json(host) << "\n}\n";
+}
+
 void ExperimentRunner::write_epoch_csv(std::ostream& os) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   // Union of all runs' metric columns, in first-seen (matrix) order, so
   // mixed matrices (e.g. DRAM-only next to Bumblebee, which adds remap
   // metrics) share one header.
@@ -826,6 +856,7 @@ void ExperimentRunner::write_epoch_csv(std::ostream& os) const {
 
 void ExperimentRunner::write_trace(std::ostream& os,
                                    TraceFormat format) const {
+  prof::ScopedPhase prof_phase(prof::Phase::kIo);
   if (format == TraceFormat::kJsonl) {
     for (const auto& r : results_) {
       if (!r.artifacts) continue;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bumblebee/config.h"
+#include "common/prof.h"
 #include "sim/mix.h"
 #include "sim/system.h"
 
@@ -199,6 +200,16 @@ class ExperimentRunner {
   /// byte counters (hbm_class_bytes / dram_class_bytes) the CSV flattens
   /// into single totals.
   void write_json(std::ostream& os) const;
+
+  /// Profiled variant (bbsim --profile --json): wraps the plain array in
+  /// {"runs": [...], "host": {...}} with the host-side performance report.
+  /// The "runs" payload is byte-identical to write_json(os) — the host
+  /// section never enters a golden-hashed stream, which only ever uses the
+  /// plain overload.
+  void write_json(std::ostream& os, const prof::HostReport& host) const;
+
+  /// Profiled variant of write_mix_json, same wrapping contract.
+  void write_mix_json(std::ostream& os, const prof::HostReport& host) const;
 
   /// Writes the epoch time-series of every run that carries artifacts as
   /// one flat CSV: design, workload, epoch, start/end tick, requests, then

@@ -6,6 +6,7 @@
 
 #include "bumblebee/controller.h"
 #include "common/check.h"
+#include "common/prof.h"
 #include "common/stats.h"
 
 namespace bb::sim {
@@ -90,6 +91,10 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
   if (sampler) sampler->finish();
   hmmc_->set_epoch_sampler(nullptr);
   hmmc_->set_trace_sink(nullptr);
+
+  // Everything below is end-of-run stats assembly: host-side profiling
+  // bills it to stats-commit. No prof value feeds the RunResult fields.
+  prof::ScopedPhase prof_phase(prof::Phase::kStatsCommit);
 
   RunResult out;
   out.design = hmmc_->name();

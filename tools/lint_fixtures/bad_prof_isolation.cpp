@@ -1,0 +1,34 @@
+// analyze-expect: prof-isolation=3
+//
+// Positive fixture for the prof-isolation rule: wall-clock primitives
+// outside the sanctioned src/common/prof.cpp site, and a profiler value
+// assigned to a RunResult simulated field. Never compiled.
+#include <chrono>
+
+// A local RunResult definition exercises the member parser (the real rule
+// run picks the struct up from src/sim/system.h the same way).
+struct RunResult {
+  double ipc = 0;
+  unsigned long long misses = 0;
+};
+
+namespace prof {
+double elapsed_seconds();
+}
+
+// Finding 1: steady_clock outside the sanctioned site.
+long bad_direct_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// Finding 2: clock_gettime outside the sanctioned site.
+long bad_clock_gettime() {
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return ts.tv_sec;
+}
+
+// Finding 3: host measurement flows into a simulated field.
+void bad_prof_into_result(RunResult& r) {
+  r.ipc = prof::elapsed_seconds();
+}

@@ -1,4 +1,4 @@
-// analyze-expect: determinism=0
+// analyze-expect: determinism=0, prof-isolation=1
 //
 // Negative fixture for the determinism rule: deterministic idioms and
 // properly justified suppressions that must all pass. Never compiled.
@@ -13,8 +13,10 @@ double ok_ordered_iteration(const std::map<int, double>& m) {
   return s;
 }
 
-// steady_clock feeds stderr progress reporting only, which the wall-clock
-// pattern deliberately does not match.
+// steady_clock is outside the determinism rule's wall-clock pattern (it
+// cannot feed simulated state by construction) — but the stricter
+// prof-isolation rule does flag it outside src/common/prof.cpp, hence the
+// prof-isolation=1 expectation above.
 long ok_steady_clock() {
   return std::chrono::steady_clock::now().time_since_epoch().count();
 }

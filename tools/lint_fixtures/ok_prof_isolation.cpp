@@ -1,0 +1,42 @@
+// analyze-expect: prof-isolation=0
+//
+// Negative fixture for the prof-isolation rule: profiler values staying on
+// the host side, and simulated fields fed from simulated state only — all
+// of which must pass. Never compiled.
+
+struct RunResult {
+  double ipc = 0;
+  unsigned long long misses = 0;
+};
+
+namespace prof {
+struct HostReport {
+  double wall_seconds = 0;
+  double requests_per_sec = 0;
+};
+double elapsed_seconds();
+unsigned long long monotonic_ns();
+}  // namespace prof
+
+// Prof values may flow into host-side containers freely.
+prof::HostReport ok_host_side_flow() {
+  prof::HostReport host;
+  host.wall_seconds = prof::elapsed_seconds();
+  host.requests_per_sec = 42.0 / host.wall_seconds;
+  return host;
+}
+
+// Simulated fields fed from simulated state are untouched by the rule,
+// even in a function that also talks to the profiler on other lines.
+void ok_simulated_assignment(RunResult& r, unsigned long long sim_misses) {
+  const unsigned long long t0 = prof::monotonic_ns();
+  r.misses = sim_misses;
+  r.ipc = static_cast<double>(sim_misses) / 2.0;
+  (void)t0;
+}
+
+// Reading a simulated field into a host-side variable is the allowed
+// direction (requests-per-second needs the request count).
+double ok_sim_to_host(const RunResult& r) {
+  return static_cast<double>(r.misses) / prof::elapsed_seconds();
+}
