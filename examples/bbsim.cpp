@@ -4,10 +4,20 @@
 //   ./bbsim --designs=DRAM-only,Bumblebee,Hybrid2 --workloads=mcf,wrf
 //   ./bbsim --designs=all --workloads=all --misses=50000 --csv
 //   ./bbsim --designs=DRAM-only,Bumblebee --workloads=mcf
-//           --epoch-csv=epochs.csv --trace=run.json --trace-format=chrome
+//           --epoch-csv=epochs.csv --event-trace=run.json
+//           --trace-format=chrome
 //   ./bbsim --designs=Bumblebee --mix=mixed-locality4,mcf+lbm --csv
 //   ./bbsim --designs=Bumblebee --workloads=mcf --fault-profile=mixed
 //           --fault-rate=1e-4 --fault-seed=1 --csv
+//   ./bbsim --designs=Bumblebee --workloads=mcf --instructions=2000000
+//           --capture-trace=mcf.bbtrace
+//   ./bbsim --designs=all --replay-trace=mcf.bbtrace --csv
+//
+// Three distinct trace flags: --event-trace (JSONL/Chrome *event* trace of
+// remap/swap/warmup events; --trace is its deprecated alias),
+// --capture-trace (record the run's binary miss stream), and
+// --replay-trace (drive designs from a recorded binary miss stream in
+// bounded memory).
 //
 // Design names follow the factory (README); "all" expands to
 // baselines::comparison_designs() — the Figure 8 set plus the
@@ -35,6 +45,7 @@
 #include "fault/fault.h"
 #include "mem/request_queue.h"
 #include "sim/experiment.h"
+#include "trace/stream.h"
 
 using namespace bb;
 
@@ -74,8 +85,24 @@ int run(const Flags& flags) {
         "              [--epoch-requests=N]  (epoch every N requests;\n"
         "               default 5000 when --epoch-csv is given)\n"
         "              [--epoch-ticks=N]  (also close epochs every N ticks)\n"
-        "              [--trace=FILE]  (structured event trace)\n"
+        "              [--event-trace=FILE]  (structured event trace of\n"
+        "               remap/swap/warmup events; --trace is a deprecated\n"
+        "               alias for this flag)\n"
         "              [--trace-format=jsonl|chrome]  (default jsonl)\n"
+        "              [--capture-trace=FILE]  (record the run's binary\n"
+        "               miss stream — exactly one design and one workload\n"
+        "               or mix; replayable with --replay-trace)\n"
+        "              [--capture-codec=varint|raw|zlib]  (chunk codec for\n"
+        "               --capture-trace; default varint)\n"
+        "              [--chunk-records=N]  (records per capture chunk and\n"
+        "               per v1 replay read slice; default 4096)\n"
+        "              [--replay-trace=FILE]  (replay a recorded binary\n"
+        "               miss stream through every design in bounded\n"
+        "               memory; workload column = trace file name;\n"
+        "               --instructions defaults to one full pass)\n"
+        "              [--replay-mode=stream|memory]  (default stream;\n"
+        "               memory loads the whole trace — the reference\n"
+        "               path, byte-identical results)\n"
         "              [--resume=FILE]  (checkpoint journal: finished cells\n"
         "               are restored from FILE, new cells appended to it;\n"
         "               works for plain and --mix matrices)\n"
@@ -238,7 +265,15 @@ int run(const Flags& flags) {
 
   // Observability (opt-in; off = zero overhead beyond a pointer test).
   const std::string epoch_csv = flags.get_string("epoch-csv", "");
-  const std::string trace_file = flags.get_string("trace", "");
+  // --trace was renamed --event-trace when the binary miss-stream flags
+  // (--capture-trace / --replay-trace) arrived; the old spelling remains
+  // a deprecated alias.
+  std::string trace_file = flags.get_string("event-trace", "");
+  if (trace_file.empty() && flags.has("trace")) {
+    trace_file = flags.get_string("trace", "");
+    std::cerr << "bbsim: warning: --trace is deprecated, use "
+                 "--event-trace\n";
+  }
   const std::string trace_format = flags.get_string("trace-format", "jsonl");
   if (trace_format != "jsonl" && trace_format != "chrome") {
     std::cerr << "bbsim: unknown --trace-format: " << trace_format << "\n";
@@ -249,6 +284,55 @@ int run(const Flags& flags) {
       flags.has("epoch-ticks")) {
     cfg.obs.epoch.every_requests = flags.get_u64("epoch-requests", 5'000);
     cfg.obs.epoch.every_ticks = flags.get_u64("epoch-ticks", 0);
+  }
+
+  // Binary miss-stream capture and replay (src/trace/stream.h).
+  const std::string capture_path = flags.get_string("capture-trace", "");
+  const std::string replay_path = flags.get_string("replay-trace", "");
+  const std::string replay_mode = flags.get_string("replay-mode", "stream");
+  const u64 chunk_records = flags.get_u64("chunk-records", 4096);
+  if (replay_mode != "stream" && replay_mode != "memory") {
+    std::cerr << "bbsim: --replay-mode must be stream or memory, got: "
+              << replay_mode << "\n";
+    return kExitUsage;
+  }
+  if (chunk_records == 0 || chunk_records > (u64{1} << 24)) {
+    std::cerr << "bbsim: --chunk-records must be in [1, 2^24]\n";
+    return kExitUsage;
+  }
+  if (!replay_path.empty()) {
+    if (!capture_path.empty()) {
+      std::cerr << "bbsim: --replay-trace conflicts with --capture-trace\n";
+      return kExitUsage;
+    }
+    if (!mixes.empty()) {
+      std::cerr << "bbsim: --replay-trace conflicts with --mix (captured "
+                   "traces already merge all cores into one stream)\n";
+      return kExitUsage;
+    }
+    if (flags.has("workloads")) {
+      std::cerr << "bbsim: --replay-trace conflicts with --workloads (the "
+                   "trace file is the workload)\n";
+      return kExitUsage;
+    }
+  }
+  trace::TraceCaptureSink capture;
+  if (!capture_path.empty()) {
+    // One sink records one run; a multi-cell matrix would interleave
+    // unrelated streams (and race under --jobs).
+    const std::size_t cells = designs.size() *
+                              (mixes.empty() ? workloads.size() : mixes.size());
+    if (cells != 1) {
+      std::cerr << "bbsim: --capture-trace records exactly one run; use one "
+                   "design and one workload (or one mix)\n";
+      return kExitUsage;
+    }
+    trace::TraceWriterOptions wopts;
+    wopts.codec = trace::parse_codec(
+        flags.get_string("capture-codec", "varint"));
+    wopts.chunk_records = static_cast<u32>(chunk_records);
+    capture.open(capture_path, wopts);
+    cfg.capture = &capture;
   }
 
   sim::ExperimentRunner runner(cfg);
@@ -338,10 +422,48 @@ int run(const Flags& flags) {
   }
   const prof::Stopwatch run_clock;
 
-  if (mix_mode) {
+  if (!replay_path.empty()) {
+    sim::ExperimentRunner::ReplayMatrixOptions ropts;
+    ropts.path = replay_path;
+    // Result rows are labelled with the file name (sans directories), the
+    // closest thing a trace has to a workload name.
+    const std::size_t slash = replay_path.find_last_of('/');
+    ropts.label = slash == std::string::npos ? replay_path
+                                             : replay_path.substr(slash + 1);
+    ropts.streaming = replay_mode == "stream";
+    ropts.v1_chunk_records = static_cast<u32>(chunk_records);
+    if (opts.instructions == 0) {
+      // Default budget: exactly one pass over the trace. trace_info also
+      // validates the file, so a bad path fails before any simulation.
+      opts.instructions =
+          trace::trace_info(replay_path,
+                            trace::TraceReaderOptions{ropts.v1_chunk_records})
+              .inst_gap_total;
+      if (opts.instructions == 0) {
+        std::cerr << "bbsim: trace " << replay_path
+                  << " has zero instruction span; pass --instructions\n";
+        return kExitUsage;
+      }
+    }
+    runner.run_replay_matrix(designs, ropts, opts);
+    // Point the summary-table loop at the replay pseudo-workload.
+    trace::WorkloadProfile pseudo;
+    pseudo.name = ropts.label;
+    workloads = {pseudo};
+  } else if (mix_mode) {
     runner.run_mix_matrix(designs, mixes, opts);
   } else {
     runner.run_matrix(designs, workloads, opts);
+  }
+
+  if (cfg.capture != nullptr) {
+    if (!capture.close()) {
+      std::cerr << "bbsim: error writing --capture-trace file: "
+                << capture_path << "\n";
+      return kExitIo;
+    }
+    std::cerr << "bbsim: captured " << capture.records() << " records to "
+              << capture_path << "\n";
   }
 
   if (g_interrupted) {
@@ -370,7 +492,8 @@ int run(const Flags& flags) {
   if (!trace_file.empty()) {
     std::ofstream out(trace_file);
     if (!out) {
-      std::cerr << "bbsim: cannot open --trace file: " << trace_file << "\n";
+      std::cerr << "bbsim: cannot open --event-trace file: " << trace_file
+                << "\n";
       return kExitIo;
     }
     runner.write_trace(out, trace_format == "chrome"

@@ -1,0 +1,111 @@
+// trace_convert: ingest foreign text traces into the native v2 binary
+// format, and inspect / validate existing binary traces.
+//
+//   ./trace_convert --in=packets.txt --format=gem5 --out=packets.bbtrace
+//   ./trace_convert --in=dram.trace --format=ramulator --out=dram.bbtrace
+//   ./trace_convert --in=misses.csv --format=csv --out=misses.bbtrace
+//   ./trace_convert --info=misses.bbtrace
+//   ./trace_convert --verify=misses.bbtrace
+//
+// Formats and per-line grammars are documented in src/trace/convert.h;
+// the v2 binary layout in src/trace/stream.h. Exit codes follow the
+// shared CLI contract: 2 for malformed input (parse errors name the
+// 1-based line), 3 for I/O failures.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/flags.h"
+#include "trace/convert.h"
+#include "trace/stream.h"
+
+using namespace bb;
+
+namespace {
+
+void print_info(const trace::TraceInfo& info, const std::string& path) {
+  std::cout << path << ": v" << info.version << " "
+            << trace::codec_name(info.codec) << ", " << info.records
+            << " records, " << info.inst_gap_total << " instructions/pass, "
+            << info.chunks << " chunks, " << info.file_bytes << " bytes"
+            << " (max chunk: " << info.max_chunk_records << " records, "
+            << info.max_chunk_payload << " B payload)\n";
+}
+
+int run(const Flags& flags) {
+  if (flags.has("help")) {
+    std::cout <<
+        "usage: trace_convert --in=FILE --format=gem5|ramulator|csv\n"
+        "                     --out=FILE  (v2 binary trace)\n"
+        "                     [--codec=varint|raw|zlib]  (default varint)\n"
+        "                     [--chunk-records=N]  (default 4096)\n"
+        "                     [--ticks-per-inst=T]  (gem5 tick scaling;\n"
+        "                      default 1000 = 1 GHz core at 1 IPC over\n"
+        "                      1 ps ticks)\n"
+        "                     [--gap=N]  (ramulator DRAM-trace inst gap;\n"
+        "                      default 1)\n"
+        "                     [--no-align]  (keep raw addresses instead of\n"
+        "                      64 B line alignment)\n"
+        "       trace_convert --info=FILE    (structural walk, no decode)\n"
+        "       trace_convert --verify=FILE  (decode every chunk, check\n"
+        "                      all checksums and counts)\n"
+        "exit codes: 0 ok, 2 malformed input, 3 I/O error\n";
+    return 0;
+  }
+
+  const u64 chunk_records = flags.get_u64("chunk-records", 4096);
+  if (chunk_records == 0 || chunk_records > (u64{1} << 24)) {
+    std::cerr << "trace_convert: --chunk-records must be in [1, 2^24]\n";
+    return cli::kExitUsage;
+  }
+  const trace::TraceReaderOptions reader_opts{
+      static_cast<u32>(chunk_records)};
+
+  if (flags.has("info")) {
+    const std::string path = flags.get_string("info", "");
+    print_info(trace::trace_info(path, reader_opts), path);
+    return 0;
+  }
+  if (flags.has("verify")) {
+    const std::string path = flags.get_string("verify", "");
+    const auto info = trace::validate_trace(path, reader_opts);
+    print_info(info, path);
+    std::cout << "ok: all chunk checksums, the stream checksum and the "
+                 "record count verified\n";
+    return 0;
+  }
+
+  const std::string in = flags.get_string("in", "");
+  const std::string out = flags.get_string("out", "");
+  if (in.empty() || out.empty()) {
+    std::cerr << "trace_convert: --in and --out are required "
+                 "(see --help)\n";
+    return cli::kExitUsage;
+  }
+
+  trace::ConvertOptions opts;
+  opts.format = trace::parse_format(flags.get_string("format", "csv"));
+  opts.ticks_per_inst = flags.get_double("ticks-per-inst", 1000.0);
+  opts.default_gap = flags.get_u64("gap", 1);
+  opts.align_lines = !flags.has("no-align");
+  if (opts.ticks_per_inst <= 0) {
+    std::cerr << "trace_convert: --ticks-per-inst must be positive\n";
+    return cli::kExitUsage;
+  }
+
+  trace::TraceWriterOptions writer;
+  writer.codec = trace::parse_codec(flags.get_string("codec", "varint"));
+  writer.chunk_records = static_cast<u32>(chunk_records);
+
+  const auto stats = trace::convert_file(in, out, opts, writer);
+  std::cout << "converted " << stats.lines << " "
+            << trace::format_name(opts.format) << " lines to "
+            << stats.records << " records (" << stats.reads << " reads, "
+            << stats.writes << " writes): " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "trace_convert", run);
+}

@@ -10,21 +10,22 @@
 #include <iostream>
 
 #include "baselines/factory.h"
+#include "common/cli.h"
 #include "common/flags.h"
 #include "common/table.h"
 #include "trace/trace_file.h"
 
 using namespace bb;
 
-int main(int argc, char** argv) {
-  const Flags flags(argc, argv);
+namespace {
 
+int run(const Flags& flags) {
   if (flags.has("in")) {
     bool ok = false;
     auto records = trace::load_trace(flags.get_string("in", ""), &ok);
     if (!ok) {
       std::cerr << "failed to load trace\n";
-      return 1;
+      return cli::kExitIo;
     }
     const auto s = trace::measure_stream(records);
     std::cout << "Loaded " << records.size() << " records: MPKI "
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
   if (!out.empty()) {
     if (!trace::save_trace(out, records)) {
       std::cerr << "failed to write " << out << "\n";
-      return 1;
+      return cli::kExitIo;
     }
     std::cout << "Wrote " << records.size() << " records to " << out << "\n";
   } else {
@@ -75,4 +76,12 @@ int main(int argc, char** argv) {
               << ", top-1% share " << fmt_percent(s.top1pct_share) << "\n";
   }
   return 0;
+}
+
+}  // namespace
+
+// cli_main maps the TraceReplayer empty-trace rejection (and any other
+// invalid_argument) to exit 2 per the shared CLI contract.
+int main(int argc, char** argv) {
+  return cli::cli_main(argc, argv, "trace_tools", run);
 }

@@ -4,7 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "common/prof.h"
+#include "trace/stream.h"
 
 namespace bb::sim {
 
@@ -20,7 +22,7 @@ namespace {
 
 /// Per-core replay state: its own trace stream, clock, and ROB.
 struct CoreState {
-  std::unique_ptr<trace::TraceGenerator> gen;
+  trace::TraceSource* src = nullptr;  ///< not owned
   Addr base = 0;
   Tick now = 0;
   u64 inst = 0;
@@ -54,14 +56,36 @@ CoreResult CoreModel::run_lanes(const std::vector<CoreLane>& lanes,
                                 u64 target_instructions,
                                 hmm::HybridMemoryController& hmmc,
                                 u64 warmup_instructions) {
+  BB_CHECK(!lanes.empty(), "run_lanes needs at least one lane");
+  std::vector<std::unique_ptr<trace::TraceGenerator>> gens;
+  std::vector<trace::TraceSource*> sources;
+  std::vector<Addr> bases;
+  gens.reserve(lanes.size());
+  sources.reserve(lanes.size());
+  bases.reserve(lanes.size());
+  for (const CoreLane& lane : lanes) {
+    gens.push_back(
+        std::make_unique<trace::TraceGenerator>(lane.profile, lane.seed));
+    sources.push_back(gens.back().get());
+    bases.push_back(lane.base);
+  }
+  return run_sources(sources, bases, target_instructions, hmmc,
+                     warmup_instructions);
+}
+
+CoreResult CoreModel::run_sources(
+    const std::vector<trace::TraceSource*>& sources,
+    const std::vector<Addr>& bases, u64 target_instructions,
+    hmm::HybridMemoryController& hmmc, u64 warmup_instructions) {
+  BB_CHECK(!sources.empty(), "run_sources needs at least one source");
+  BB_CHECK(sources.size() == bases.size(),
+           "run_sources needs one address base per source");
   CoreResult res;
-  const u32 n = static_cast<u32>(std::max<std::size_t>(1, lanes.size()));
+  const u32 n = static_cast<u32>(sources.size());
   std::vector<CoreState> cores(n);
   for (u32 c = 0; c < n; ++c) {
-    const CoreLane& lane = lanes[std::min<std::size_t>(c, lanes.size() - 1)];
-    cores[c].gen =
-        std::make_unique<trace::TraceGenerator>(lane.profile, lane.seed);
-    cores[c].base = lane.base;
+    cores[c].src = sources[c];
+    cores[c].base = bases[c];
   }
 
   u64 total_inst = 0;
@@ -100,8 +124,13 @@ CoreResult CoreModel::run_lanes(const std::vector<CoreLane>& lanes,
 
     const trace::TraceRecord rec = [&] {
       prof::ScopedPhase phase(prof::Phase::kTraceGen);
-      return core.gen->next();
+      return core.src->next();
     }();
+    if (capture_ != nullptr) {
+      // Record the merged stream exactly as the memory system sees it:
+      // lane base folded in, consumption order preserved.
+      capture_->append({rec.inst_gap, core.base + rec.addr, rec.type});
+    }
     total_inst += rec.inst_gap;
 
     // Advance through the gap in segments bounded by ROB retirement: the

@@ -19,6 +19,10 @@
 #include "hmm/controller.h"
 #include "trace/generator.h"
 
+namespace bb::trace {
+class TraceCaptureSink;
+}  // namespace bb::trace
+
 namespace bb::sim {
 
 struct CoreParams {
@@ -100,6 +104,24 @@ class CoreModel {
                        hmm::HybridMemoryController& hmmc,
                        u64 warmup_instructions = 0);
 
+  /// Generalized lane run over abstract record sources: one TraceSource
+  /// per core (synthetic generator or trace replayer), with `bases[i]`
+  /// added to every address source i produces. run_lanes is exactly this
+  /// with freshly seeded generators, so both paths share one replay loop
+  /// and stay bit-identical. `sources` must be non-empty and sized like
+  /// `bases`; the sources must outlive the call.
+  CoreResult run_sources(const std::vector<trace::TraceSource*>& sources,
+                         const std::vector<Addr>& bases,
+                         u64 target_instructions,
+                         hmm::HybridMemoryController& hmmc,
+                         u64 warmup_instructions = 0);
+
+  /// Attaches a capture sink: every record consumed by run_sources /
+  /// run_lanes (warmup included) is appended with its lane base folded
+  /// into the address, i.e. exactly the merged absolute-address stream the
+  /// memory system saw. nullptr detaches. The sink must outlive the runs.
+  void set_capture(trace::TraceCaptureSink* capture) { capture_ = capture; }
+
   /// The lane set the homogeneous run() replays: `cores` copies of one
   /// profile with distinct derived seeds, all sharing address base 0.
   static std::vector<CoreLane> homogeneous_lanes(
@@ -120,6 +142,7 @@ class CoreModel {
   CoreParams params_;
   Tick cpi_ticks_num_;  ///< base CPI in ticks, as a rational (num/denom)
   Tick cpi_ticks_den_;
+  trace::TraceCaptureSink* capture_ = nullptr;
 };
 
 }  // namespace bb::sim

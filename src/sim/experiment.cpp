@@ -13,6 +13,8 @@
 #include "common/prof.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "trace/stream.h"
+#include "trace/trace_file.h"
 
 namespace bb::sim {
 
@@ -339,6 +341,52 @@ void ExperimentRunner::run_matrix(
   run_matrix(designs, workloads, opts);
 }
 
+void ExperimentRunner::run_replay_matrix(
+    const std::vector<std::string>& designs,
+    const ReplayMatrixOptions& replay, const RunMatrixOptions& opts) {
+  if (opts.instructions == 0) {
+    throw std::invalid_argument(
+        "trace replay requires an explicit instruction budget "
+        "(use trace_info().inst_gap_total for one full pass)");
+  }
+  const trace::TraceReaderOptions reader_opts{replay.v1_chunk_records};
+  // Validate the structure once up front so malformed files fail with a
+  // clean diagnostic here, not from a worker thread mid-matrix.
+  (void)trace::trace_info(replay.path, reader_opts);
+
+  // The pseudo-workload only labels the result rows; its profile fields
+  // are never consulted because opts.instructions is mandatory.
+  trace::WorkloadProfile label;
+  label.name = replay.label.empty() ? replay.path : replay.label;
+  const std::vector<trace::WorkloadProfile> workloads{label};
+
+  if (replay.streaming) {
+    run_cells(
+        designs.size(), workloads,
+        [&designs, &replay, &reader_opts](System& system, std::size_t d,
+                                          const trace::WorkloadProfile& w,
+                                          u64 instr) {
+          // Each cell opens its own reader: workers never share file
+          // offsets, and every replay starts from record zero.
+          trace::StreamingTraceReader reader(replay.path, reader_opts);
+          return system.run_replay(designs[d], reader, w.name, instr);
+        },
+        [&designs](std::size_t d) { return designs[d]; }, opts);
+    return;
+  }
+  // Memory mode: load once, replay per cell from a private cursor.
+  const auto records = std::make_shared<const std::vector<trace::TraceRecord>>(
+      trace::read_trace(replay.path));
+  run_cells(
+      designs.size(), workloads,
+      [&designs, records](System& system, std::size_t d,
+                          const trace::WorkloadProfile& w, u64 instr) {
+        trace::TraceReplayer replayer(*records);
+        return system.run_replay(designs[d], replayer, w.name, instr);
+      },
+      [&designs](std::size_t d) { return designs[d]; }, opts);
+}
+
 void ExperimentRunner::run_bumblebee_matrix(
     const std::vector<std::pair<std::string, bumblebee::BumblebeeConfig>>&
         configs,
@@ -524,6 +572,9 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
   SystemConfig alone_cfg = cfg_;
   alone_cfg.core.cores = 1;
   alone_cfg.obs = ObservabilityConfig{};
+  // A --capture-trace sink records the *co-run* miss stream only; letting
+  // the alone baselines append too would interleave three runs' records.
+  alone_cfg.capture = nullptr;
 
   // Commits one finished baseline: the cache feeds phase 2, on_alone
   // checkpoints it. Cancelled pairs are never committed (and never

@@ -135,6 +135,26 @@ class ExperimentRunner {
                   u64 min_instructions = 50'000'000,
                   u64 max_instructions = 400'000'000);
 
+  /// Trace-replay matrix: every design replays the recorded binary trace
+  /// at `replay.path` (see src/trace/stream.h). Results carry workload =
+  /// `replay.label`. In streaming mode each worker opens its own bounded-
+  /// memory StreamingTraceReader, so peak RSS is independent of trace
+  /// length; memory mode loads the records once and replays them through
+  /// TraceReplayer (the byte-identity reference path — both modes produce
+  /// identical results, pinned by test). opts.instructions must be set: a
+  /// trace has no MPKI to derive a budget from (trace_info(path)
+  /// .inst_gap_total is the budget for exactly one pass). The trace is
+  /// structurally validated up front; bad files throw trace::TraceError.
+  struct ReplayMatrixOptions {
+    std::string path;
+    std::string label;      ///< result workload name (e.g. the file stem)
+    bool streaming = true;  ///< false: whole-trace in-memory replay
+    u32 v1_chunk_records = 4096;  ///< streaming read slice for v1 traces
+  };
+  void run_replay_matrix(const std::vector<std::string>& designs,
+                         const ReplayMatrixOptions& replay,
+                         const RunMatrixOptions& opts);
+
   /// Design-space exploration matrix: one cell per (labelled Bumblebee
   /// configuration, workload). Each result's design field is the label.
   void run_bumblebee_matrix(

@@ -63,11 +63,24 @@ RunResult System::run_current(const trace::WorkloadProfile& workload,
       instructions, workload.name, /*attach_core_perf=*/false);
 }
 
+RunResult System::run_replay(const std::string& design,
+                             trace::TraceSource& source,
+                             const std::string& trace_name,
+                             u64 instructions) {
+  make_devices();
+  hmmc_ = baselines::make_design(design, *hbm_, *dram_, cfg_.paging);
+  // One lane: a captured trace already merges every core's traffic.
+  return run_lanes_current(std::vector<CoreLane>(1), instructions, trace_name,
+                           /*attach_core_perf=*/false, &source);
+}
+
 RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
                                     u64 total_instructions,
                                     const std::string& workload_name,
-                                    bool attach_core_perf) {
+                                    bool attach_core_perf,
+                                    trace::TraceSource* replay) {
   CoreModel core(cfg_.core);
+  core.set_capture(cfg_.capture);
   hmmc_->set_core_count(static_cast<u32>(lanes.size()));
 
   // Observability attachments (all per-run and buffered in memory, so the
@@ -86,7 +99,10 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
   const u64 warmup = static_cast<u64>(
       cfg_.warmup_ratio * static_cast<double>(total_instructions));
   const CoreResult cr =
-      core.run_lanes(lanes, total_instructions, *hmmc_, warmup);
+      replay != nullptr
+          ? core.run_sources({replay}, {0}, total_instructions, *hmmc_,
+                             warmup)
+          : core.run_lanes(lanes, total_instructions, *hmmc_, warmup);
 
   if (sampler) sampler->finish();
   hmmc_->set_epoch_sampler(nullptr);

@@ -22,6 +22,10 @@
 #include "trace/generator.h"
 #include "trace/workload.h"
 
+namespace bb::trace {
+class TraceCaptureSink;
+}  // namespace bb::trace
+
 namespace bb::sim {
 
 /// Opt-in observability outputs for a run. Off by default: with neither
@@ -52,6 +56,10 @@ struct SystemConfig {
   /// fault-free runs build no fault state and stay bit-identical to the
   /// pre-fault golden outputs). See src/fault/fault.h.
   fault::FaultConfig fault;
+  /// When set, every run records its merged miss stream (lane bases folded
+  /// in, warmup included) to this sink — the `bbsim --capture-trace` hook.
+  /// Not owned; must outlive the runs. nullptr = no capture (default).
+  trace::TraceCaptureSink* capture = nullptr;
 };
 
 /// Per-run observability payload (epoch rows + trace events), buffered in
@@ -164,6 +172,14 @@ class System {
                     const std::vector<CoreLane>& lanes,
                     const std::string& mix_name, u64 per_core_instructions);
 
+  /// Replays a recorded trace through `design`. A captured trace is the
+  /// *merged* absolute-address stream of all cores, so it drives a single
+  /// replay lane regardless of SystemConfig::core.cores; warmup_ratio
+  /// applies as usual (the source loops, so the warmup pass replays the
+  /// same records). `trace_name` labels the result's workload column.
+  RunResult run_replay(const std::string& design, trace::TraceSource& source,
+                       const std::string& trace_name, u64 instructions);
+
   /// Access to the most recent run's controller (inspection in tests and
   /// harnesses; invalidated by the next run()).
   hmm::HybridMemoryController* last_controller() { return hmmc_.get(); }
@@ -175,11 +191,15 @@ class System {
  private:
   RunResult run_current(const trace::WorkloadProfile& workload,
                         u64 instructions);
-  /// Shared replay + result assembly for run_current and run_mix.
+  /// Shared replay + result assembly for run_current, run_mix and
+  /// run_replay. When `replay` is non-null it is the single record source
+  /// (lanes then only size the core count); otherwise lanes seed fresh
+  /// generators.
   RunResult run_lanes_current(const std::vector<CoreLane>& lanes,
                               u64 total_instructions,
                               const std::string& workload_name,
-                              bool attach_core_perf);
+                              bool attach_core_perf,
+                              trace::TraceSource* replay = nullptr);
   /// Constructs fresh devices for a run and, when cfg_.fault is enabled,
   /// fresh per-device fault state seeded from the run seed (fault-free runs
   /// attach nothing and take the historical code path).

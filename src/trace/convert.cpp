@@ -1,0 +1,276 @@
+#include "trace/convert.h"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <vector>
+
+namespace bb::trace {
+namespace {
+
+[[noreturn]] void throw_line(u64 line_no, const std::string& what) {
+  throw TraceError("trace line " + std::to_string(line_no) + ": " + what);
+}
+
+/// Parses a decimal or 0x-hex unsigned value; the whole token must parse.
+u64 parse_u64_token(const std::string& tok, u64 line_no, const char* what) {
+  if (tok.empty()) throw_line(line_no, std::string("missing ") + what);
+  const bool hex = tok.size() > 2 && tok[0] == '0' &&
+                   (tok[1] == 'x' || tok[1] == 'X');
+  u64 v = 0;
+  const std::size_t start = hex ? 2 : 0;
+  if (start == tok.size()) {
+    throw_line(line_no, std::string("malformed ") + what + ": " + tok);
+  }
+  for (std::size_t i = start; i < tok.size(); ++i) {
+    const char c = tok[i];
+    u64 digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<u64>(c - '0');
+    } else if (hex && c >= 'a' && c <= 'f') {
+      digit = static_cast<u64>(c - 'a') + 10;
+    } else if (hex && c >= 'A' && c <= 'F') {
+      digit = static_cast<u64>(c - 'A') + 10;
+    } else {
+      throw_line(line_no, std::string("malformed ") + what + ": " + tok);
+    }
+    v = v * (hex ? 16 : 10) + digit;
+  }
+  return v;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// Maps a command/type token to a direction, or throws.
+AccessType parse_direction(const std::string& tok, u64 line_no) {
+  const std::string t = lower(tok);
+  if (t == "r" || t == "0" || starts_with(t, "read")) {
+    return AccessType::kRead;
+  }
+  if (t == "w" || t == "1" || starts_with(t, "write")) {
+    return AccessType::kWrite;
+  }
+  throw_line(line_no, "unknown access type/command: " + tok);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+Addr align_addr(Addr a, const ConvertOptions& opts) {
+  return opts.align_lines ? a & ~(kLineBytes - 1) : a;
+}
+
+/// One parsed line fed through the per-format state machines below.
+struct Emitter {
+  const ConvertOptions& opts;
+  const std::function<void(const TraceRecord&)>& emit;
+  ConvertStats stats;
+
+  void record(u64 gap, Addr addr, AccessType type) {
+    emit(TraceRecord{gap, align_addr(addr, opts), type});
+    stats.records += 1;
+    if (type == AccessType::kWrite) {
+      stats.writes += 1;
+    } else {
+      stats.reads += 1;
+    }
+  }
+};
+
+void parse_gem5_line(Emitter& em, const std::vector<std::string>& tok,
+                     u64 line_no, bool& have_prev, u64& prev_tick) {
+  if (tok.size() < 3) {
+    throw_line(line_no, "gem5 line needs <tick> <cmd> <addr>");
+  }
+  std::string tick_tok = tok[0];
+  if (!tick_tok.empty() && tick_tok.back() == ':') tick_tok.pop_back();
+  const u64 tick = parse_u64_token(tick_tok, line_no, "tick");
+  const AccessType type = parse_direction(tok[1], line_no);
+  const Addr addr = parse_u64_token(tok[2], line_no, "address");
+  u64 gap = 1;
+  if (have_prev && tick > prev_tick) {
+    const double insts = std::round(static_cast<double>(tick - prev_tick) /
+                                    em.opts.ticks_per_inst);
+    gap = insts < 1.0 ? 1 : static_cast<u64>(insts);
+  }
+  have_prev = true;
+  prev_tick = tick;
+  em.record(gap, addr, type);
+}
+
+/// Ramulator DRAM trace: `<addr> <R|W>`.
+void parse_ramulator_dram_line(Emitter& em,
+                               const std::vector<std::string>& tok,
+                               u64 line_no) {
+  if (tok.size() != 2) {
+    throw_line(line_no, "ramulator DRAM line needs <addr> <R|W>");
+  }
+  const Addr addr = parse_u64_token(tok[0], line_no, "address");
+  em.record(em.opts.default_gap, addr, parse_direction(tok[1], line_no));
+}
+
+/// Ramulator CPU trace: `<bubbles> <read-addr> [<write-addr>]`.
+void parse_ramulator_cpu_line(Emitter& em,
+                              const std::vector<std::string>& tok,
+                              u64 line_no) {
+  if (tok.size() != 2 && tok.size() != 3) {
+    throw_line(line_no,
+               "ramulator CPU line needs <bubbles> <read-addr> [<write-addr>]");
+  }
+  const u64 bubbles = parse_u64_token(tok[0], line_no, "bubble count");
+  const Addr read_addr = parse_u64_token(tok[1], line_no, "read address");
+  em.record(std::max<u64>(1, bubbles), read_addr, AccessType::kRead);
+  if (tok.size() == 3) {
+    const Addr write_addr = parse_u64_token(tok[2], line_no, "write address");
+    em.record(0, write_addr, AccessType::kWrite);
+  }
+}
+
+/// True when the tokens look like a ramulator DRAM-trace line (second
+/// token is a direction letter rather than an address).
+bool looks_like_dram_trace(const std::vector<std::string>& tok) {
+  if (tok.size() != 2) return false;
+  const std::string t = lower(tok[1]);
+  return t == "r" || t == "w" || starts_with(t, "read") ||
+         starts_with(t, "write");
+}
+
+void parse_csv_line(Emitter& em, const std::string& line, u64 line_no,
+                    bool& saw_header) {
+  const std::vector<std::string> f = split_commas(line);
+  if (!saw_header) {
+    if (f.size() != 3 || lower(f[0]) != "inst_gap" || lower(f[1]) != "addr" ||
+        lower(f[2]) != "type") {
+      throw_line(line_no, "CSV trace must start with header inst_gap,addr,type");
+    }
+    saw_header = true;
+    return;
+  }
+  if (f.size() != 3) {
+    throw_line(line_no, "CSV line needs inst_gap,addr,type");
+  }
+  const u64 gap = parse_u64_token(f[0], line_no, "inst_gap");
+  const Addr addr = parse_u64_token(f[1], line_no, "address");
+  em.record(gap, addr, parse_direction(f[2], line_no));
+}
+
+}  // namespace
+
+ForeignFormat parse_format(const std::string& name) {
+  if (name == "gem5") return ForeignFormat::kGem5;
+  if (name == "ramulator") return ForeignFormat::kRamulator;
+  if (name == "csv") return ForeignFormat::kCsv;
+  throw TraceError("unknown trace format: " + name +
+                   " (expected gem5, ramulator or csv)");
+}
+
+const char* format_name(ForeignFormat format) {
+  switch (format) {
+    case ForeignFormat::kGem5: return "gem5";
+    case ForeignFormat::kRamulator: return "ramulator";
+    case ForeignFormat::kCsv: return "csv";
+  }
+  return "unknown";
+}
+
+ConvertStats convert_text_trace(
+    std::istream& in, const ConvertOptions& opts,
+    const std::function<void(const TraceRecord&)>& emit) {
+  Emitter em{opts, emit, ConvertStats{}};
+  std::string line;
+  u64 line_no = 0;
+  bool have_prev_tick = false;
+  u64 prev_tick = 0;
+  bool saw_csv_header = false;
+  bool ramulator_is_dram = false;
+  bool ramulator_detected = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = 0;
+    while (first < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[first]))) {
+      ++first;
+    }
+    if (first == line.size() || line[first] == '#') continue;
+
+    if (opts.format == ForeignFormat::kCsv) {
+      const bool was_header = !saw_csv_header;
+      parse_csv_line(em, line, line_no, saw_csv_header);
+      if (!was_header) em.stats.lines += 1;
+      continue;
+    }
+    const std::vector<std::string> tok = split_ws(line);
+    em.stats.lines += 1;
+    if (opts.format == ForeignFormat::kGem5) {
+      parse_gem5_line(em, tok, line_no, have_prev_tick, prev_tick);
+    } else {
+      if (!ramulator_detected) {
+        ramulator_is_dram = looks_like_dram_trace(tok);
+        ramulator_detected = true;
+      }
+      if (ramulator_is_dram) {
+        parse_ramulator_dram_line(em, tok, line_no);
+      } else {
+        parse_ramulator_cpu_line(em, tok, line_no);
+      }
+    }
+  }
+  if (opts.format == ForeignFormat::kCsv && !saw_csv_header) {
+    throw TraceError("CSV trace is empty: missing inst_gap,addr,type header");
+  }
+  if (em.stats.records == 0) {
+    throw TraceError("foreign trace has no records: nothing to convert");
+  }
+  return em.stats;
+}
+
+ConvertStats convert_file(const std::string& in_path,
+                          const std::string& out_path,
+                          const ConvertOptions& opts,
+                          const TraceWriterOptions& writer) {
+  std::ifstream in(in_path);
+  if (!in) {
+    throw std::ios_base::failure("cannot open input trace: " + in_path);
+  }
+  TraceCaptureSink sink;
+  sink.open(out_path, writer);
+  const ConvertStats stats = convert_text_trace(
+      in, opts, [&sink](const TraceRecord& r) { sink.append(r); });
+  if (!sink.close()) {
+    throw std::ios_base::failure("cannot write output trace: " + out_path);
+  }
+  return stats;
+}
+
+}  // namespace bb::trace

@@ -1,0 +1,80 @@
+// Foreign-trace ingest: parses text memory traces from other simulators
+// into native TraceRecords, so recorded production traffic can drive the
+// hybrid-memory designs (the gem5 DRAM-cache methodology).
+//
+// Supported input formats (one request per line; blank lines and lines
+// starting with '#' are skipped everywhere):
+//
+//   gem5       `<tick>[:] <cmd> <addr>` — a packet-trace line: simulator
+//              tick, command name (ReadReq / WriteReq family; anything
+//              whose first word starts with "Read"/"Write", case-
+//              insensitive, plus bare r/w), address (decimal or 0x hex).
+//              inst_gap = max(1, round(delta_tick / ticks_per_inst)).
+//
+//   ramulator  auto-detected per file from the first data line:
+//              * DRAM trace:  `<addr> <R|W>` — fixed default_gap between
+//                requests (ramulator's memory-trace mode has no timing);
+//              * CPU trace:   `<bubbles> <read-addr> [<write-addr>]` —
+//                the non-memory instruction count becomes the read's
+//                inst_gap; a trailing write address emits a second record
+//                with gap 0 (it retires with the same bubble).
+//
+//   csv        `inst_gap,addr,type` with exactly that header; type is
+//              R/W, read/write or 0/1; addr decimal or 0x hex.
+//
+// Addresses are 64 B line-aligned on ingest (the simulator's request
+// granularity) unless ConvertOptions::align_lines is cleared. Unparseable
+// lines throw TraceError naming the 1-based line number (exit code 2 via
+// the bb::cli contract) — a converter that silently skipped garbage would
+// manufacture a trace that was never recorded.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "trace/stream.h"
+
+namespace bb::trace {
+
+enum class ForeignFormat { kGem5, kRamulator, kCsv };
+
+/// Parses "gem5" / "ramulator" / "csv"; throws TraceError otherwise.
+ForeignFormat parse_format(const std::string& name);
+const char* format_name(ForeignFormat format);
+
+struct ConvertOptions {
+  ForeignFormat format = ForeignFormat::kCsv;
+  /// gem5 only: simulator ticks per retired instruction (gem5's default
+  /// tick is 1 ps, so a 1 IPC core at 1 GHz retires one instruction per
+  /// 1000 ticks).
+  double ticks_per_inst = 1000.0;
+  /// ramulator DRAM traces only: the fixed inst_gap between requests.
+  u64 default_gap = 1;
+  /// Align ingested addresses down to 64 B cache lines.
+  bool align_lines = true;
+};
+
+struct ConvertStats {
+  u64 lines = 0;    ///< data lines parsed (blank/comment lines excluded)
+  u64 records = 0;  ///< records emitted (>= lines for ramulator CPU traces)
+  u64 reads = 0;
+  u64 writes = 0;
+};
+
+/// Parses the foreign text trace on `in`, passing each native record to
+/// `emit` in input order. Throws TraceError on the first malformed line.
+ConvertStats convert_text_trace(
+    std::istream& in, const ConvertOptions& opts,
+    const std::function<void(const TraceRecord&)>& emit);
+
+/// File-to-file convenience: text trace at `in_path` captured to a v2
+/// binary trace at `out_path`. Throws TraceError on parse errors and
+/// std::ios_base::failure on I/O failure.
+ConvertStats convert_file(const std::string& in_path,
+                          const std::string& out_path,
+                          const ConvertOptions& opts,
+                          const TraceWriterOptions& writer =
+                              TraceWriterOptions{});
+
+}  // namespace bb::trace

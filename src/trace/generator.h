@@ -31,6 +31,18 @@ struct TraceRecord {
   AccessType type = AccessType::kRead;
 };
 
+/// Abstract producer of miss records. Synthetic generators, in-memory
+/// replayers and the streaming trace reader all implement this, so the
+/// core model can drive any of them interchangeably (CoreModel
+/// ::run_sources). Sources never run dry: replayers loop at end-of-trace.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// Produces the next miss record.
+  virtual TraceRecord next() = 0;
+};
+
 inline constexpr u64 kLineBytes = 64;
 
 /// Hot sets are capped: SPEC's hot data concentrates well below the full
@@ -38,12 +50,12 @@ inline constexpr u64 kLineBytes = 64;
 /// paper's Figure 1 where even 10 GB-footprint workloads show dense reuse).
 inline constexpr u64 kMaxHotSetBytes = 384 * MiB;
 
-class TraceGenerator {
+class TraceGenerator : public TraceSource {
  public:
   TraceGenerator(const WorkloadProfile& profile, u64 seed);
 
   /// Produces the next miss record.
-  TraceRecord next();
+  TraceRecord next() override;
 
   /// Convenience: materializes `n` records.
   std::vector<TraceRecord> take(u64 n);

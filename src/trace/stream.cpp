@@ -1,0 +1,691 @@
+#include "trace/stream.h"
+
+#include <array>
+#include <cstring>
+#include <ios>
+
+#ifdef BB_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace bb::trace {
+namespace {
+
+// ---- format constants -----------------------------------------------------
+
+constexpr u64 kMagicV1 = 0x42424d4d54524331ULL;  // "BBMMTRC1"
+constexpr u64 kMagicV2 = 0x42424d4d54524332ULL;  // "BBMMTRC2"
+constexpr u32 kChunkMarker = 0x434b4e48;         // "CHNK" (LE bytes H N K C)
+constexpr u32 kFooterMarker = 0x544f4f46;        // "FOOT"
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kChunkHeaderBytes = 16;
+constexpr std::size_t kFooterBytes = 32;
+constexpr std::size_t kCanonicalRecordBytes = 17;  // u64 gap, u64 addr, u8 w
+constexpr std::size_t kV1RecordBytes = 24;         // trace_file.cpp layout
+constexpr u64 kMaxChunkPayloadBytes = 1ULL << 30;
+constexpr u32 kMaxChunkRecords = 1u << 24;
+
+// ---- little-endian byte helpers -------------------------------------------
+
+void put_u32(u8* out, u32 v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<u8>(v >> (8 * i));
+}
+
+void put_u64(u8* out, u64 v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<u8>(v >> (8 * i));
+}
+
+u32 get_u32(const u8* in) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<u32>(in[i]) << (8 * i);
+  return v;
+}
+
+u64 get_u64(const u8* in) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(in[i]) << (8 * i);
+  return v;
+}
+
+// ---- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -----------------------
+
+const std::array<u32, 256>& crc_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+constexpr u32 crc32_init() { return 0xFFFFFFFFu; }
+
+u32 crc32_update(u32 state, const u8* data, std::size_t n) {
+  const auto& t = crc_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    state = t[(state ^ data[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+constexpr u32 crc32_final(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+u32 crc32_of(const u8* data, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+// ---- varint / zigzag ------------------------------------------------------
+
+void put_varint(std::vector<u8>& out, u64 v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<u8>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<u8>(v));
+}
+
+/// Reads one varint from [p, end). Throws on overrun or >64-bit values.
+u64 get_varint(const u8*& p, const u8* end) {
+  u64 v = 0;
+  for (u32 shift = 0; shift < 64; shift += 7) {
+    if (p == end) throw TraceError("varint chunk payload truncated");
+    const u8 byte = *p++;
+    v |= static_cast<u64>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) return v;
+  }
+  throw TraceError("varint value overflows 64 bits");
+}
+
+u64 zigzag_encode(u64 delta) {
+  const i64 s = static_cast<i64>(delta);
+  return (static_cast<u64>(s) << 1) ^ static_cast<u64>(s >> 63);
+}
+
+u64 zigzag_decode(u64 z) { return (z >> 1) ^ (~(z & 1) + 1); }
+
+// ---- canonical record image -----------------------------------------------
+
+void put_canonical(u8* out, const TraceRecord& r) {
+  put_u64(out, r.inst_gap);
+  put_u64(out + 8, r.addr);
+  out[16] = r.type == AccessType::kWrite ? 1 : 0;
+}
+
+TraceRecord get_canonical(const u8* in) {
+  TraceRecord r;
+  r.inst_gap = get_u64(in);
+  r.addr = get_u64(in + 8);
+  if (in[16] > 1) throw TraceError("corrupt record: bad access-type byte");
+  r.type = in[16] != 0 ? AccessType::kWrite : AccessType::kRead;
+  return r;
+}
+
+// ---- file helpers ---------------------------------------------------------
+
+[[noreturn]] void throw_io(const std::string& path, const char* what) {
+  throw std::ios_base::failure(std::string(what) + ": " + path);
+}
+
+[[noreturn]] void throw_bad(const std::string& path, const std::string& what) {
+  throw TraceError("bad trace file " + path + ": " + what);
+}
+
+bool read_exact(std::FILE* f, u8* buf, std::size_t n) {
+  return std::fread(buf, 1, n, f) == n;
+}
+
+bool write_exact(std::FILE* f, const u8* buf, std::size_t n) {
+  return std::fwrite(buf, 1, n, f) == n;
+}
+
+void seek_to(std::FILE* f, const std::string& path, u64 offset) {
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw_io(path, "cannot seek in trace file");
+  }
+}
+
+u64 file_size(std::FILE* f, const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0) throw_io(path, "cannot seek");
+  const long size = std::ftell(f);
+  if (size < 0) throw_io(path, "cannot tell");
+  return static_cast<u64>(size);
+}
+
+// ---- chunk codecs ---------------------------------------------------------
+
+#ifdef BB_HAVE_ZLIB
+constexpr bool kHaveZlib = true;
+#else
+constexpr bool kHaveZlib = false;
+#endif
+
+/// Encodes `records` into `payload` with `codec`, updating the running
+/// stream-CRC state over the canonical images via `canon` scratch.
+void encode_chunk(const std::vector<TraceRecord>& records, TraceCodec codec,
+                  std::vector<u8>& canon, std::vector<u8>& payload,
+                  u32& stream_crc_state) {
+  canon.resize(records.size() * kCanonicalRecordBytes);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    put_canonical(canon.data() + i * kCanonicalRecordBytes, records[i]);
+  }
+  stream_crc_state = crc32_update(stream_crc_state, canon.data(),
+                                  canon.size());
+  switch (codec) {
+    case TraceCodec::kRaw:
+      payload = canon;
+      return;
+    case TraceCodec::kVarint: {
+      payload.clear();
+      Addr prev = 0;
+      for (const TraceRecord& r : records) {
+        if (r.inst_gap >= (1ULL << 63)) {
+          throw TraceError("inst_gap too large for the varint codec");
+        }
+        const u64 w = r.type == AccessType::kWrite ? 1 : 0;
+        put_varint(payload, (r.inst_gap << 1) | w);
+        put_varint(payload, zigzag_encode(r.addr - prev));
+        prev = r.addr;
+      }
+      return;
+    }
+    case TraceCodec::kZlib: {
+#ifdef BB_HAVE_ZLIB
+      uLongf bound = compressBound(static_cast<uLong>(canon.size()));
+      payload.resize(static_cast<std::size_t>(bound));
+      const int rc =
+          compress2(payload.data(), &bound, canon.data(),
+                    static_cast<uLong>(canon.size()), Z_DEFAULT_COMPRESSION);
+      if (rc != Z_OK) throw TraceError("zlib compression failed");
+      payload.resize(static_cast<std::size_t>(bound));
+      return;
+#else
+      throw TraceError("zlib codec unavailable in this build");
+#endif
+    }
+  }
+  throw TraceError("unknown trace codec");
+}
+
+/// Decodes one chunk payload into `out` (exactly n_records entries),
+/// updating the running stream-CRC state over the canonical images.
+/// Throws TraceError on any inconsistency; `out` is only valid on return.
+void decode_chunk(const u8* payload, std::size_t payload_bytes,
+                  TraceCodec codec, u32 n_records, std::vector<u8>& canon,
+                  std::vector<TraceRecord>& out, u32& stream_crc_state) {
+  out.clear();
+  switch (codec) {
+    case TraceCodec::kRaw: {
+      if (payload_bytes != n_records * kCanonicalRecordBytes) {
+        throw TraceError("raw chunk payload size disagrees with its count");
+      }
+      for (u32 i = 0; i < n_records; ++i) {
+        out.push_back(get_canonical(payload + i * kCanonicalRecordBytes));
+      }
+      stream_crc_state = crc32_update(stream_crc_state, payload,
+                                      payload_bytes);
+      return;
+    }
+    case TraceCodec::kVarint: {
+      const u8* p = payload;
+      const u8* end = payload + payload_bytes;
+      Addr prev = 0;
+      u8 image[kCanonicalRecordBytes];
+      for (u32 i = 0; i < n_records; ++i) {
+        const u64 gw = get_varint(p, end);
+        TraceRecord r;
+        r.inst_gap = gw >> 1;
+        r.type = (gw & 1) != 0 ? AccessType::kWrite : AccessType::kRead;
+        r.addr = prev + zigzag_decode(get_varint(p, end));
+        prev = r.addr;
+        put_canonical(image, r);
+        stream_crc_state =
+            crc32_update(stream_crc_state, image, kCanonicalRecordBytes);
+        out.push_back(r);
+      }
+      if (p != end) {
+        throw TraceError("varint chunk has trailing bytes after its records");
+      }
+      return;
+    }
+    case TraceCodec::kZlib: {
+#ifdef BB_HAVE_ZLIB
+      canon.resize(n_records * kCanonicalRecordBytes);
+      uLongf raw_len = static_cast<uLongf>(canon.size());
+      const int rc = uncompress(canon.data(), &raw_len, payload,
+                                static_cast<uLong>(payload_bytes));
+      if (rc != Z_OK || raw_len != canon.size()) {
+        throw TraceError("zlib chunk fails to decompress to its record count");
+      }
+      for (u32 i = 0; i < n_records; ++i) {
+        out.push_back(get_canonical(canon.data() +
+                                    i * kCanonicalRecordBytes));
+      }
+      stream_crc_state = crc32_update(stream_crc_state, canon.data(),
+                                      canon.size());
+      return;
+#else
+      throw TraceError("zlib codec unavailable in this build");
+#endif
+    }
+  }
+  throw TraceError("unknown trace codec");
+}
+
+// ---- structural walk ------------------------------------------------------
+
+struct WalkResult {
+  TraceInfo info;
+  u64 footer_stream_crc = 0;
+};
+
+/// Shallow structural validation of an open trace file: header, every
+/// chunk header (payloads skipped), footer, and their mutual agreement.
+/// For v1 files the records are additionally scanned (they carry no
+/// footer) to compute the one-pass instruction total. Leaves the file
+/// position unspecified.
+WalkResult walk_structure(std::FILE* f, const std::string& path,
+                          const TraceReaderOptions& opts) {
+  WalkResult wr;
+  TraceInfo& info = wr.info;
+  info.file_bytes = file_size(f, path);
+  if (info.file_bytes < kHeaderBytes) {
+    throw_bad(path, "shorter than a trace header");
+  }
+  seek_to(f, path, 0);
+  u8 hdr[kHeaderBytes];
+  if (!read_exact(f, hdr, kHeaderBytes)) throw_io(path, "cannot read header");
+  const u64 magic = get_u64(hdr);
+  const u32 version = get_u32(hdr + 8);
+
+  if (magic == kMagicV1) {
+    if (version != 1) {
+      throw_bad(path, "v1 magic with unsupported version " +
+                          std::to_string(version));
+    }
+    const u64 count = get_u64(hdr + 16);
+    if (count == 0) throw_bad(path, "empty trace: nothing to replay");
+    const u64 expect = kHeaderBytes + count * kV1RecordBytes;
+    if (info.file_bytes != expect) {
+      throw_bad(path, "v1 record area is " +
+                          std::to_string(info.file_bytes - kHeaderBytes) +
+                          " bytes but the header promises " +
+                          std::to_string(count * kV1RecordBytes) +
+                          " (truncated or trailing bytes)");
+    }
+    info.version = 1;
+    info.codec = TraceCodec::kRaw;
+    info.records = count;
+    const u64 slice = std::max<u64>(1, opts.v1_chunk_records);
+    info.chunks = (count + slice - 1) / slice;
+    info.max_chunk_records = std::min<u64>(count, slice);
+    info.max_chunk_payload = info.max_chunk_records * kV1RecordBytes;
+    // v1 has no footer: scan the packed records for the instruction total
+    // (v1 traces are small by construction — they predate streaming).
+    std::vector<u8> buf(static_cast<std::size_t>(info.max_chunk_payload));
+    u64 remaining = count;
+    while (remaining > 0) {
+      const u64 n = std::min<u64>(remaining, info.max_chunk_records);
+      const std::size_t bytes = static_cast<std::size_t>(n) * kV1RecordBytes;
+      if (!read_exact(f, buf.data(), bytes)) {
+        throw_io(path, "cannot read v1 records");
+      }
+      for (u64 i = 0; i < n; ++i) {
+        info.inst_gap_total +=
+            get_u64(buf.data() + static_cast<std::size_t>(i) *
+                                     kV1RecordBytes);
+      }
+      remaining -= n;
+    }
+    return wr;
+  }
+
+  if (magic != kMagicV2) throw_bad(path, "not a Bumblebee binary trace");
+  if (version != 2) {
+    throw_bad(path,
+              "v2 magic with unsupported version " + std::to_string(version));
+  }
+  const u32 codec_raw = get_u32(hdr + 12);
+  if (codec_raw > static_cast<u32>(TraceCodec::kZlib)) {
+    throw_bad(path, "unknown codec id " + std::to_string(codec_raw));
+  }
+  info.codec = static_cast<TraceCodec>(codec_raw);
+  if (info.codec == TraceCodec::kZlib && !kHaveZlib) {
+    throw_bad(path, "zlib codec unavailable in this build");
+  }
+  info.version = 2;
+
+  if (info.file_bytes < kHeaderBytes + kFooterBytes) {
+    throw_bad(path, "too small to hold a footer (truncated capture?)");
+  }
+  const u64 footer_off = info.file_bytes - kFooterBytes;
+  seek_to(f, path, footer_off);
+  u8 foot[kFooterBytes];
+  if (!read_exact(f, foot, kFooterBytes)) throw_io(path, "cannot read footer");
+  if (get_u32(foot) != kFooterMarker) {
+    throw_bad(path, "footer marker missing (truncated capture?)");
+  }
+  info.records = get_u64(foot + 8);
+  info.inst_gap_total = get_u64(foot + 16);
+  wr.footer_stream_crc = get_u64(foot + 24);
+  if (info.records == 0) throw_bad(path, "empty trace: nothing to replay");
+
+  u64 pos = kHeaderBytes;
+  u64 counted = 0;
+  seek_to(f, path, pos);
+  while (pos < footer_off) {
+    if (footer_off - pos < kChunkHeaderBytes) {
+      throw_bad(path, "dangling bytes before the footer at offset " +
+                          std::to_string(pos));
+    }
+    u8 ch[kChunkHeaderBytes];
+    if (!read_exact(f, ch, kChunkHeaderBytes)) {
+      throw_io(path, "cannot read chunk header");
+    }
+    if (get_u32(ch) != kChunkMarker) {
+      throw_bad(path, "chunk marker missing at offset " + std::to_string(pos));
+    }
+    const u32 n_records = get_u32(ch + 4);
+    const u32 payload_bytes = get_u32(ch + 8);
+    if (n_records == 0 || n_records > kMaxChunkRecords) {
+      throw_bad(path, "implausible chunk record count at offset " +
+                          std::to_string(pos));
+    }
+    if (payload_bytes == 0 || payload_bytes > kMaxChunkPayloadBytes) {
+      throw_bad(path, "implausible chunk payload size at offset " +
+                          std::to_string(pos));
+    }
+    if (info.codec == TraceCodec::kRaw &&
+        payload_bytes != n_records * kCanonicalRecordBytes) {
+      throw_bad(path, "raw chunk payload size disagrees with its count at "
+                      "offset " +
+                          std::to_string(pos));
+    }
+    pos += kChunkHeaderBytes;
+    if (payload_bytes > footer_off - pos) {
+      throw_bad(path, "chunk at offset " +
+                          std::to_string(pos - kChunkHeaderBytes) +
+                          " overruns the footer (truncated final chunk?)");
+    }
+    pos += payload_bytes;
+    seek_to(f, path, pos);
+    counted += n_records;
+    info.max_chunk_payload = std::max<u64>(info.max_chunk_payload,
+                                           payload_bytes);
+    info.max_chunk_records = std::max<u64>(info.max_chunk_records, n_records);
+    ++info.chunks;
+  }
+  if (counted != info.records) {
+    throw_bad(path, "chunks hold " + std::to_string(counted) +
+                        " records but the footer promises " +
+                        std::to_string(info.records));
+  }
+  return wr;
+}
+
+}  // namespace
+
+// ---- codec names ----------------------------------------------------------
+
+bool zlib_supported() { return kHaveZlib; }
+
+TraceCodec parse_codec(const std::string& name) {
+  if (name == "raw") return TraceCodec::kRaw;
+  if (name == "varint") return TraceCodec::kVarint;
+  if (name == "zlib") {
+    if (!kHaveZlib) {
+      throw TraceError("zlib codec unavailable in this build");
+    }
+    return TraceCodec::kZlib;
+  }
+  throw TraceError("unknown trace codec: " + name +
+                   " (expected raw, varint or zlib)");
+}
+
+const char* codec_name(TraceCodec codec) {
+  switch (codec) {
+    case TraceCodec::kRaw: return "raw";
+    case TraceCodec::kVarint: return "varint";
+    case TraceCodec::kZlib: return "zlib";
+  }
+  return "unknown";
+}
+
+// ---- TraceCaptureSink -----------------------------------------------------
+
+TraceCaptureSink::~TraceCaptureSink() {
+  if (is_open()) close();
+}
+
+void TraceCaptureSink::open(const std::string& path,
+                            const TraceWriterOptions& opts) {
+  if (is_open()) throw TraceError("capture sink is already open");
+  if (opts.chunk_records == 0 || opts.chunk_records > kMaxChunkRecords) {
+    throw TraceError("capture chunk size must be in [1, " +
+                     std::to_string(kMaxChunkRecords) + "] records");
+  }
+  if (opts.codec == TraceCodec::kZlib && !kHaveZlib) {
+    throw TraceError("zlib codec unavailable in this build");
+  }
+  file_.reset(std::fopen(path.c_str(), "wb"));
+  if (!file_) throw_io(path, "cannot create trace file");
+  path_ = path;
+  opts_ = opts;
+  buffer_.clear();
+  buffer_.reserve(opts_.chunk_records);
+  records_ = 0;
+  inst_gap_total_ = 0;
+  stream_crc_ = crc32_init();
+  ok_ = true;
+
+  u8 hdr[kHeaderBytes];
+  put_u64(hdr, kMagicV2);
+  put_u32(hdr + 8, 2);
+  put_u32(hdr + 12, static_cast<u32>(opts_.codec));
+  put_u64(hdr + 16, opts_.chunk_records);
+  if (!write_exact(file_.get(), hdr, kHeaderBytes)) ok_ = false;
+}
+
+void TraceCaptureSink::append(const TraceRecord& rec) {
+  if (!is_open() || !ok_) return;
+  buffer_.push_back(rec);
+  records_ += 1;
+  inst_gap_total_ += rec.inst_gap;
+  if (buffer_.size() >= opts_.chunk_records) flush_chunk();
+}
+
+void TraceCaptureSink::flush_chunk() {
+  if (buffer_.empty() || !ok_) return;
+  encode_chunk(buffer_, opts_.codec, canon_, scratch_, stream_crc_);
+  u8 ch[kChunkHeaderBytes];
+  put_u32(ch, kChunkMarker);
+  put_u32(ch + 4, static_cast<u32>(buffer_.size()));
+  put_u32(ch + 8, static_cast<u32>(scratch_.size()));
+  put_u32(ch + 12, crc32_of(scratch_.data(), scratch_.size()));
+  if (!write_exact(file_.get(), ch, kChunkHeaderBytes) ||
+      !write_exact(file_.get(), scratch_.data(), scratch_.size())) {
+    ok_ = false;
+  }
+  buffer_.clear();
+}
+
+bool TraceCaptureSink::close() {
+  if (!is_open()) return ok_;
+  flush_chunk();
+  u8 foot[kFooterBytes];
+  put_u32(foot, kFooterMarker);
+  put_u32(foot + 4, 0);
+  put_u64(foot + 8, records_);
+  put_u64(foot + 16, inst_gap_total_);
+  put_u64(foot + 24, crc32_final(stream_crc_));
+  if (!write_exact(file_.get(), foot, kFooterBytes)) ok_ = false;
+  if (std::fflush(file_.get()) != 0) ok_ = false;
+  file_.reset();
+  return ok_;
+}
+
+// ---- trace_info -----------------------------------------------------------
+
+TraceInfo trace_info(const std::string& path, const TraceReaderOptions& opts) {
+  struct Closer {
+    void operator()(std::FILE* fp) const {
+      if (fp != nullptr) std::fclose(fp);
+    }
+  };
+  std::unique_ptr<std::FILE, Closer> f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw_io(path, "cannot open trace file");
+  return walk_structure(f.get(), path, opts).info;
+}
+
+// ---- StreamingTraceReader -------------------------------------------------
+
+StreamingTraceReader::StreamingTraceReader(const std::string& path,
+                                           const TraceReaderOptions& opts)
+    : path_(path), opts_(opts) {
+  file_.reset(std::fopen(path.c_str(), "rb"));
+  if (!file_) throw_io(path, "cannot open trace file");
+  const WalkResult wr = walk_structure(file_.get(), path_, opts_);
+  info_ = wr.info;
+  footer_stream_crc_ = wr.footer_stream_crc;
+  payload_.resize(static_cast<std::size_t>(info_.max_chunk_payload));
+  decoded_.reserve(static_cast<std::size_t>(info_.max_chunk_records));
+  rewind_to_first_chunk();
+}
+
+StreamingTraceReader::~StreamingTraceReader() = default;
+
+void StreamingTraceReader::rewind_to_first_chunk() {
+  seek_to(file_.get(), path_, kHeaderBytes);
+  decoded_.clear();
+  cursor_ = 0;
+  records_served_this_lap_ = 0;
+  stream_crc_ = crc32_init();
+}
+
+TraceRecord StreamingTraceReader::next() {
+  if (cursor_ >= decoded_.size()) {
+    if (info_.version == 1) {
+      load_v1_slice();
+    } else {
+      load_next_chunk();
+    }
+  }
+  const TraceRecord r = decoded_[cursor_++];
+  if (cursor_ >= decoded_.size() &&
+      records_served_this_lap_ >= info_.records) {
+    // Lap complete. Count it eagerly — TraceReplayer::next() bumps laps()
+    // while serving the last record, and the two must stay in lockstep —
+    // and verify the whole decoded stream against the footer checksum
+    // before the record escapes (fail closed, v2 only: v1 carries no
+    // checksums).
+    if (info_.version == 2 &&
+        crc32_final(stream_crc_) != footer_stream_crc_) {
+      throw_bad(path_, "stream checksum mismatch (corrupt records?)");
+    }
+    ++laps_;
+    rewind_to_first_chunk();
+  }
+  return r;
+}
+
+void StreamingTraceReader::load_next_chunk() {
+  u8 ch[kChunkHeaderBytes];
+  if (!read_exact(file_.get(), ch, kChunkHeaderBytes)) {
+    throw_io(path_, "cannot read chunk header");
+  }
+  if (get_u32(ch) != kChunkMarker) {
+    throw_bad(path_, "chunk marker missing mid-replay");
+  }
+  const u32 n_records = get_u32(ch + 4);
+  const u32 payload_bytes = get_u32(ch + 8);
+  const u32 payload_crc = get_u32(ch + 12);
+  if (payload_bytes > payload_.size() ||
+      n_records > info_.max_chunk_records) {
+    throw_bad(path_, "chunk grew beyond its validated bounds mid-replay");
+  }
+  if (!read_exact(file_.get(), payload_.data(), payload_bytes)) {
+    throw_io(path_, "cannot read chunk payload");
+  }
+  if (crc32_of(payload_.data(), payload_bytes) != payload_crc) {
+    throw_bad(path_, "chunk checksum mismatch at record " +
+                         std::to_string(records_served_this_lap_));
+  }
+  decode_chunk(payload_.data(), payload_bytes, info_.codec, n_records, canon_,
+               decoded_, stream_crc_);
+  cursor_ = 0;
+  records_served_this_lap_ += n_records;
+}
+
+void StreamingTraceReader::load_v1_slice() {
+  const u64 n = std::min<u64>(info_.records - records_served_this_lap_,
+                              info_.max_chunk_records);
+  const std::size_t bytes = static_cast<std::size_t>(n) * kV1RecordBytes;
+  if (!read_exact(file_.get(), payload_.data(), bytes)) {
+    throw_io(path_, "cannot read v1 records");
+  }
+  decoded_.clear();
+  for (u64 i = 0; i < n; ++i) {
+    const u8* p = payload_.data() + static_cast<std::size_t>(i) *
+                                        kV1RecordBytes;
+    TraceRecord r;
+    r.inst_gap = get_u64(p);
+    r.addr = get_u64(p + 8);
+    r.type = p[16] != 0 ? AccessType::kWrite : AccessType::kRead;
+    decoded_.push_back(r);
+  }
+  cursor_ = 0;
+  records_served_this_lap_ += n;
+}
+
+// ---- whole-trace helpers --------------------------------------------------
+
+TraceInfo validate_trace(const std::string& path,
+                         const TraceReaderOptions& opts) {
+  StreamingTraceReader reader(path, opts);
+  u64 gaps = 0;
+  for (u64 i = 0; i < reader.info().records; ++i) {
+    gaps += reader.next().inst_gap;
+  }
+  // Serving the final record verified the stream checksum and completed
+  // the lap; anything else means the chunk walk and the footer disagree
+  // about how many records the file really holds.
+  if (reader.laps() != 1) {
+    throw_bad(path, "reader failed to complete exactly one pass");
+  }
+  if (gaps != reader.info().inst_gap_total) {
+    throw_bad(path, "instruction total " + std::to_string(gaps) +
+                        " disagrees with the recorded total " +
+                        std::to_string(reader.info().inst_gap_total));
+  }
+  return reader.info();
+}
+
+std::vector<TraceRecord> read_trace(const std::string& path) {
+  StreamingTraceReader reader(path);
+  std::vector<TraceRecord> out;
+  out.reserve(static_cast<std::size_t>(reader.info().records));
+  // The final next() completes the lap, which verifies the stream
+  // checksum — a corrupt file throws before the records are returned.
+  for (u64 i = 0; i < reader.info().records; ++i) out.push_back(reader.next());
+  return out;
+}
+
+bool save_trace_v2(const std::string& path,
+                   const std::vector<TraceRecord>& records,
+                   const TraceWriterOptions& opts) {
+  TraceCaptureSink sink;
+  try {
+    sink.open(path, opts);
+  } catch (const std::ios_base::failure&) {
+    return false;
+  }
+  for (const TraceRecord& r : records) sink.append(r);
+  return sink.close();
+}
+
+}  // namespace bb::trace

@@ -4,6 +4,7 @@
 // records, so traces are portable and mmap-friendly.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,14 +22,20 @@ std::vector<TraceRecord> load_trace(const std::string& path,
                                     bool* ok = nullptr);
 
 /// Replays a loaded trace as a generator; loops when it reaches the end
-/// (so arbitrarily long simulations can run on finite traces).
-class TraceReplayer {
+/// (so arbitrarily long simulations can run on finite traces). Empty
+/// traces are rejected at construction: fabricating records for them
+/// would silently simulate traffic that was never recorded (the cli_main
+/// contract maps the throw to exit code 2).
+class TraceReplayer : public TraceSource {
  public:
   explicit TraceReplayer(std::vector<TraceRecord> records)
-      : records_(std::move(records)) {}
+      : records_(std::move(records)) {
+    if (records_.empty()) {
+      throw std::invalid_argument("empty trace: nothing to replay");
+    }
+  }
 
-  TraceRecord next() {
-    if (records_.empty()) return TraceRecord{1, 0, AccessType::kRead};
+  TraceRecord next() override {
     const TraceRecord r = records_[cursor_];
     cursor_ = (cursor_ + 1) % records_.size();
     if (cursor_ == 0) ++laps_;

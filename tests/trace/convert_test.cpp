@@ -1,0 +1,172 @@
+// Foreign-trace ingest tests: per-format parsing, line alignment, the
+// ramulator auto-detection, and the fail-on-first-garbage-line contract.
+#include "trace/convert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bb::trace {
+namespace {
+
+std::vector<TraceRecord> convert_string(const std::string& text,
+                                        ConvertOptions opts) {
+  std::istringstream in(text);
+  std::vector<TraceRecord> out;
+  convert_text_trace(in, opts,
+                     [&out](const TraceRecord& r) { out.push_back(r); });
+  return out;
+}
+
+TEST(Convert, ParsesGem5PacketLines) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kGem5;
+  opts.ticks_per_inst = 1000.0;
+  const auto recs = convert_string(
+      "# comment\n"
+      "1000: ReadReq 0x1000\n"
+      "3000: WriteReq 4160\n"
+      "\n"
+      "3500 ReadExReq 0x2009\n",  // colon optional, addr gets line-aligned
+      opts);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].inst_gap, 1u);  // first line: no previous tick
+  EXPECT_EQ(recs[0].addr, 0x1000u);
+  EXPECT_EQ(recs[0].type, AccessType::kRead);
+  EXPECT_EQ(recs[1].inst_gap, 2u);  // (3000-1000)/1000
+  EXPECT_EQ(recs[1].addr, 4160u);
+  EXPECT_EQ(recs[1].type, AccessType::kWrite);
+  EXPECT_EQ(recs[2].inst_gap, 1u);  // 500 ticks rounds up to min gap 1
+  EXPECT_EQ(recs[2].addr, 0x2000u);  // 0x2009 aligned down to 64 B
+}
+
+TEST(Convert, ParsesRamulatorDramTrace) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kRamulator;
+  opts.default_gap = 5;
+  const auto recs = convert_string(
+      "0x12345 R\n"
+      "0x12380 W\n",
+      opts);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].inst_gap, 5u);
+  EXPECT_EQ(recs[0].addr, 0x12340u);
+  EXPECT_EQ(recs[0].type, AccessType::kRead);
+  EXPECT_EQ(recs[1].type, AccessType::kWrite);
+}
+
+TEST(Convert, ParsesRamulatorCpuTrace) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kRamulator;
+  const auto recs = convert_string(
+      "7 0x1000\n"
+      "0 0x2000 0x3000\n",  // trailing write address: two records
+      opts);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].inst_gap, 7u);
+  EXPECT_EQ(recs[0].type, AccessType::kRead);
+  EXPECT_EQ(recs[1].inst_gap, 1u);  // zero bubbles clamps to min gap 1
+  EXPECT_EQ(recs[1].addr, 0x2000u);
+  EXPECT_EQ(recs[2].inst_gap, 0u);  // piggybacked write retires with it
+  EXPECT_EQ(recs[2].addr, 0x3000u);
+  EXPECT_EQ(recs[2].type, AccessType::kWrite);
+}
+
+TEST(Convert, ParsesCsvWithHeader) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kCsv;
+  const auto recs = convert_string(
+      "inst_gap,addr,type\n"
+      "3,0x1040,R\n"
+      "11,8192,write\n"
+      "2,64,0\n",
+      opts);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].inst_gap, 3u);
+  EXPECT_EQ(recs[0].addr, 0x1040u);
+  EXPECT_EQ(recs[1].type, AccessType::kWrite);
+  EXPECT_EQ(recs[2].type, AccessType::kRead);
+}
+
+TEST(Convert, CsvWithoutHeaderRejected) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kCsv;
+  EXPECT_THROW(convert_string("3,0x1040,R\n", opts), TraceError);
+}
+
+TEST(Convert, MalformedLineNamesLineNumber) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kGem5;
+  try {
+    convert_string("1000: ReadReq 0x1000\ngarbage here\n", opts);
+    FAIL() << "garbage line must throw";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Convert, EmptyInputRejected) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kGem5;
+  EXPECT_THROW(convert_string("# only comments\n\n", opts), TraceError);
+}
+
+TEST(Convert, AlignmentCanBeDisabled) {
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kRamulator;
+  opts.align_lines = false;
+  const auto recs = convert_string("0x12345 R\n", opts);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].addr, 0x12345u);
+}
+
+TEST(Convert, FormatNamesRoundTrip) {
+  EXPECT_EQ(parse_format("gem5"), ForeignFormat::kGem5);
+  EXPECT_EQ(parse_format("ramulator"), ForeignFormat::kRamulator);
+  EXPECT_EQ(parse_format("csv"), ForeignFormat::kCsv);
+  EXPECT_THROW(parse_format("pintool"), TraceError);
+  EXPECT_STREQ(format_name(ForeignFormat::kGem5), "gem5");
+}
+
+TEST(Convert, FileToFileProducesValidV2Trace) {
+  const std::string in_path =
+      std::string(::testing::TempDir()) + "/conv_in.txt";
+  const std::string out_path =
+      std::string(::testing::TempDir()) + "/conv_out.bbtrace";
+  {
+    std::ofstream out(in_path);
+    out << "inst_gap,addr,type\n";
+    for (int i = 0; i < 500; ++i) {
+      out << (i % 9 + 1) << "," << i * 64 << "," << (i % 4 ? "R" : "W")
+          << "\n";
+    }
+  }
+  ConvertOptions opts;
+  opts.format = ForeignFormat::kCsv;
+  TraceWriterOptions writer;
+  writer.chunk_records = 128;
+  const auto stats = convert_file(in_path, out_path, opts, writer);
+  EXPECT_EQ(stats.lines, 500u);
+  EXPECT_EQ(stats.records, 500u);
+  EXPECT_EQ(stats.reads + stats.writes, 500u);
+  const auto info = validate_trace(out_path);
+  EXPECT_EQ(info.records, 500u);
+  const auto recs = read_trace(out_path);
+  EXPECT_EQ(recs[499].addr, 499u * 64u);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Convert, MissingInputFileIsIoError) {
+  ConvertOptions opts;
+  EXPECT_THROW(convert_file("/nonexistent/in.txt", "/tmp/out.bbtrace", opts),
+               std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace bb::trace

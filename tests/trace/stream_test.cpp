@@ -1,0 +1,345 @@
+// Streaming trace layer tests: v2 round-trips under every codec, lap
+// parity with the in-memory replayer, v1 compatibility, and the fail-
+// closed contract for truncated / corrupt files (a record must never be
+// served from a chunk whose checksum did not verify).
+#include "trace/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_file.h"
+#include "trace/workload.h"
+
+namespace bb::trace {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<TraceRecord> synth_records(std::size_t n, u64 seed = 7) {
+  TraceGenerator gen(WorkloadProfile::by_name("mcf"), seed);
+  return gen.take(n);
+}
+
+void expect_same(const std::vector<TraceRecord>& a,
+                 const std::vector<TraceRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].inst_gap, b[i].inst_gap) << "record " << i;
+    ASSERT_EQ(a[i].addr, b[i].addr) << "record " << i;
+    ASSERT_EQ(a[i].type, b[i].type) << "record " << i;
+  }
+}
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good());
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+void dump(const std::string& path, const std::vector<unsigned char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+// Independent CRC32 (IEEE 802.3, reflected) so corruption tests can craft
+// files whose *chunk* checksum verifies while the record bytes lie — the
+// stream checksum must then catch it at the lap boundary.
+u32 ref_crc32(const unsigned char* data, std::size_t n) {
+  u32 crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc ^= data[i];
+    for (int b = 0; b < 8; ++b) {
+      crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+  }
+  return ~crc;
+}
+
+void put_le32(std::vector<unsigned char>& bytes, std::size_t off, u32 v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[off + static_cast<std::size_t>(i)] =
+        static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+struct TempTrace {
+  explicit TempTrace(const char* name) : path(tmp_path(name)) {}
+  ~TempTrace() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(StreamFormat, RoundTripAllCodecs) {
+  const auto original = synth_records(3000);
+  std::vector<TraceCodec> codecs = {TraceCodec::kRaw, TraceCodec::kVarint};
+  if (zlib_supported()) codecs.push_back(TraceCodec::kZlib);
+  for (const TraceCodec codec : codecs) {
+    TempTrace t("roundtrip_v2.bbtrace");
+    TraceWriterOptions w;
+    w.codec = codec;
+    w.chunk_records = 256;  // 3000 % 256 != 0: short final chunk on purpose
+    ASSERT_TRUE(save_trace_v2(t.path, original, w)) << codec_name(codec);
+    const auto info = trace_info(t.path);
+    EXPECT_EQ(info.version, 2u);
+    EXPECT_EQ(info.codec, codec);
+    EXPECT_EQ(info.records, original.size());
+    EXPECT_EQ(info.chunks, (original.size() + 255) / 256);
+    expect_same(read_trace(t.path), original);
+    EXPECT_EQ(validate_trace(t.path).records, original.size());
+  }
+}
+
+TEST(StreamFormat, ZlibGateMatchesBuild) {
+  if (zlib_supported()) {
+    EXPECT_EQ(parse_codec("zlib"), TraceCodec::kZlib);
+  } else {
+    EXPECT_THROW(parse_codec("zlib"), TraceError);
+  }
+  EXPECT_THROW(parse_codec("brotli"), TraceError);
+}
+
+TEST(StreamFormat, VarintHandlesAddressJumpsAndWideGaps) {
+  // Zigzag deltas across the full address range plus gaps needing every
+  // varint length.
+  std::vector<TraceRecord> recs = {
+      {1, 0, AccessType::kRead},
+      {0x7FFFFFFFFFFFFFFFull, 0xFFFFFFFFFFFFFFC0ull, AccessType::kWrite},
+      {127, 64, AccessType::kRead},
+      {128, 0xFFFFFFFFFFFFFFC0ull, AccessType::kRead},
+      {1, 0, AccessType::kWrite},
+  };
+  TempTrace t("varint_extremes.bbtrace");
+  TraceWriterOptions w;
+  w.codec = TraceCodec::kVarint;
+  w.chunk_records = 2;
+  ASSERT_TRUE(save_trace_v2(t.path, recs, w));
+  expect_same(read_trace(t.path), recs);
+}
+
+TEST(StreamingReader, BitIdenticalToInMemoryReplayerAcrossLaps) {
+  const auto original = synth_records(1000);
+  TempTrace t("laps.bbtrace");
+  TraceWriterOptions w;
+  w.chunk_records = 128;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+
+  StreamingTraceReader stream(t.path);
+  TraceReplayer memory(original);
+  // 2.5 laps: exercises the wrap twice, including lap-boundary checksum
+  // verification, and ends mid-trace.
+  for (std::size_t i = 0; i < 2500; ++i) {
+    const TraceRecord a = stream.next();
+    const TraceRecord b = memory.next();
+    ASSERT_EQ(a.inst_gap, b.inst_gap) << "step " << i;
+    ASSERT_EQ(a.addr, b.addr) << "step " << i;
+    ASSERT_EQ(a.type, b.type) << "step " << i;
+    ASSERT_EQ(stream.laps(), memory.laps()) << "step " << i;
+  }
+  EXPECT_EQ(stream.laps(), 2u);
+}
+
+TEST(StreamingReader, BoundedBuffersReportedInInfo) {
+  const auto original = synth_records(4096);
+  TempTrace t("bounded.bbtrace");
+  TraceWriterOptions w;
+  w.chunk_records = 64;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+  StreamingTraceReader reader(t.path);
+  // The decode buffer high-water mark is one chunk, not the trace: 64
+  // records regardless of the 4096-record file.
+  EXPECT_EQ(reader.info().max_chunk_records, 64u);
+  EXPECT_LT(reader.info().max_chunk_payload, 64u * 17u + 1u);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    ASSERT_EQ(reader.next().addr, original[i].addr);
+  }
+}
+
+TEST(StreamingReader, ReadsV1Files) {
+  const auto original = synth_records(777);
+  TempTrace t("v1_compat.bbtrace");
+  ASSERT_TRUE(save_trace(t.path, original));  // legacy whole-file writer
+  TraceReaderOptions opts;
+  opts.v1_chunk_records = 100;  // force multiple slices incl. a short tail
+  const auto info = trace_info(t.path, opts);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.records, original.size());
+  EXPECT_EQ(info.chunks, 8u);
+  StreamingTraceReader reader(t.path, opts);
+  std::vector<TraceRecord> seen;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    seen.push_back(reader.next());
+  }
+  expect_same(seen, original);
+  EXPECT_EQ(reader.next().addr, original[0].addr);  // wraps like v2
+  EXPECT_EQ(reader.laps(), 1u);
+}
+
+TEST(StreamingReader, EmptyV2TraceRejected) {
+  TempTrace t("empty_v2.bbtrace");
+  TraceCaptureSink sink;
+  sink.open(t.path);
+  EXPECT_TRUE(sink.close());  // structurally valid file with zero records
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+  EXPECT_THROW(trace_info(t.path), TraceError);
+}
+
+TEST(StreamingReader, EmptyV1TraceRejected) {
+  TempTrace t("empty_v1.bbtrace");
+  ASSERT_TRUE(save_trace(t.path, {}));
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+}
+
+TEST(StreamingReader, MissingFileIsIoError) {
+  EXPECT_THROW(StreamingTraceReader reader(tmp_path("nope.bbtrace")),
+               std::ios_base::failure);
+  EXPECT_THROW(trace_info(tmp_path("nope.bbtrace")), std::ios_base::failure);
+}
+
+TEST(StreamCorruption, BadMagicFailsClosed) {
+  const auto original = synth_records(100);
+  TempTrace t("badmagic.bbtrace");
+  ASSERT_TRUE(save_trace_v2(t.path, original));
+  auto bytes = slurp(t.path);
+  bytes[0] ^= 0xFF;
+  dump(t.path, bytes);
+  EXPECT_THROW(trace_info(t.path), TraceError);
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+}
+
+TEST(StreamCorruption, UnknownVersionFailsClosed) {
+  const auto original = synth_records(100);
+  TempTrace t("badversion.bbtrace");
+  ASSERT_TRUE(save_trace_v2(t.path, original));
+  auto bytes = slurp(t.path);
+  put_le32(bytes, 8, 3);  // header version field
+  dump(t.path, bytes);
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+}
+
+TEST(StreamCorruption, TruncatedFinalChunkFailsClosed) {
+  const auto original = synth_records(1000);
+  TempTrace t("truncated.bbtrace");
+  TraceWriterOptions w;
+  w.chunk_records = 128;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+  auto bytes = slurp(t.path);
+  // Drop the footer and half the final chunk: the structural walk must
+  // notice before any record is served.
+  bytes.resize(bytes.size() - 32 - 40);
+  dump(t.path, bytes);
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+}
+
+TEST(StreamCorruption, TruncatedV1FailsClosed) {
+  const auto original = synth_records(100);
+  TempTrace t("truncated_v1.bbtrace");
+  ASSERT_TRUE(save_trace(t.path, original));
+  auto bytes = slurp(t.path);
+  bytes.resize(bytes.size() - 13);  // mid-record cut
+  dump(t.path, bytes);
+  EXPECT_THROW(StreamingTraceReader reader(t.path), TraceError);
+}
+
+TEST(StreamCorruption, ChunkChecksumMismatchDetectedOnLoad) {
+  const auto original = synth_records(600);
+  TempTrace t("flipped.bbtrace");
+  TraceWriterOptions w;
+  w.codec = TraceCodec::kRaw;
+  w.chunk_records = 200;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+  auto bytes = slurp(t.path);
+  // Flip one payload byte inside the *second* chunk (header 24 B, chunk
+  // header 16 B, payload 200 * 17 B, then the next chunk header).
+  const std::size_t second_payload = 24 + 16 + 200 * 17 + 16;
+  bytes[second_payload + 5] ^= 0x01;
+  dump(t.path, bytes);
+  // The shallow walk does not decode payloads, so construction succeeds
+  // and the first chunk still replays...
+  StreamingTraceReader reader(t.path);
+  for (int i = 0; i < 200; ++i) reader.next();
+  // ...but the corrupt chunk must never yield a record.
+  EXPECT_THROW(reader.next(), TraceError);
+  EXPECT_THROW(validate_trace(t.path), TraceError);
+}
+
+TEST(StreamCorruption, StreamChecksumCatchesConsistentlyPatchedChunk) {
+  const auto original = synth_records(300);
+  TempTrace t("patched.bbtrace");
+  TraceWriterOptions w;
+  w.codec = TraceCodec::kRaw;
+  w.chunk_records = 100;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+  auto bytes = slurp(t.path);
+  // Adversarial case: corrupt a record's address *and* re-stamp the chunk
+  // CRC so the per-chunk check passes. Only the footer's stream checksum,
+  // verified at the lap boundary, can catch this.
+  const std::size_t chunk_hdr = 24;
+  const std::size_t payload = chunk_hdr + 16;
+  bytes[payload + 8] ^= 0x40;  // addr byte of record 0
+  put_le32(bytes, chunk_hdr + 12, ref_crc32(&bytes[payload], 100 * 17));
+  dump(t.path, bytes);
+  StreamingTraceReader reader(t.path);
+  for (std::size_t i = 0; i < original.size() - 1; ++i) reader.next();
+  // Serving the final record completes the lap, which verifies the stream
+  // checksum — the record must not escape.
+  EXPECT_THROW(reader.next(), TraceError);
+  EXPECT_THROW(validate_trace(t.path), TraceError);
+}
+
+TEST(StreamCorruption, FooterCountMismatchFailsClosed) {
+  const auto original = synth_records(256);
+  TempTrace t("badcount.bbtrace");
+  TraceWriterOptions w;
+  w.chunk_records = 64;
+  ASSERT_TRUE(save_trace_v2(t.path, original, w));
+  auto bytes = slurp(t.path);
+  // Footer record_count is 24 bytes from the end (count u64,
+  // inst_gap_total u64, stream_crc u64).
+  bytes[bytes.size() - 24] ^= 0x01;
+  dump(t.path, bytes);
+  EXPECT_THROW(trace_info(t.path), TraceError);
+}
+
+TEST(CaptureSink, CountsAndInstructionTotal) {
+  TempTrace t("sink.bbtrace");
+  TraceCaptureSink sink;
+  TraceWriterOptions w;
+  w.chunk_records = 8;
+  sink.open(t.path, w);
+  EXPECT_TRUE(sink.is_open());
+  u64 gaps = 0;
+  for (u64 i = 0; i < 20; ++i) {  // 2 full chunks + a short one
+    sink.append({i + 1, i * 64, i % 3 == 0 ? AccessType::kWrite
+                                           : AccessType::kRead});
+    gaps += i + 1;
+  }
+  EXPECT_EQ(sink.records(), 20u);
+  EXPECT_TRUE(sink.close());
+  const auto info = trace_info(t.path);
+  EXPECT_EQ(info.records, 20u);
+  EXPECT_EQ(info.inst_gap_total, gaps);
+  EXPECT_EQ(info.chunks, 3u);
+  const auto back = read_trace(t.path);
+  ASSERT_EQ(back.size(), 20u);
+  EXPECT_EQ(back[19].addr, 19u * 64u);
+}
+
+TEST(CaptureSink, RejectsBadOptions) {
+  TraceCaptureSink sink;
+  TraceWriterOptions w;
+  w.chunk_records = 0;
+  EXPECT_THROW(sink.open(tmp_path("never.bbtrace"), w), TraceError);
+  EXPECT_THROW(sink.open("/nonexistent-dir/x.bbtrace"),
+               std::ios_base::failure);
+}
+
+}  // namespace
+}  // namespace bb::trace

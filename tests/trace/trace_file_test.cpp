@@ -93,11 +93,18 @@ TEST(Replayer, LoopsOverRecords) {
   EXPECT_EQ(rep.next().addr, 0u);  // wrapped
 }
 
-TEST(Replayer, EmptyIsBenign) {
-  TraceReplayer rep({});
-  const auto r = rep.next();
-  EXPECT_EQ(r.inst_gap, 1u);
-  EXPECT_EQ(r.addr, 0u);
+// Regression: an empty trace used to fabricate TraceRecord{1, 0, kRead}
+// on every next(), silently simulating traffic that was never recorded.
+// Construction now rejects it (std::invalid_argument → exit 2 through
+// the bb::cli contract).
+TEST(Replayer, EmptyTraceRejectedAtConstruction) {
+  EXPECT_THROW(TraceReplayer rep({}), std::invalid_argument);
+  try {
+    TraceReplayer rep({});
+    FAIL() << "empty trace must not construct";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("empty trace"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,4 +1,4 @@
-// analyze-expect: determinism=6
+// analyze-expect: determinism=8
 //
 // Positive fixture for the determinism rule: every banned pattern in one
 // file, plus allowlisted uses that must NOT be flagged. The CI analysis job
@@ -30,6 +30,18 @@ double bad_unordered_iteration(const std::unordered_map<int, double>& m) {
   double s = 0;
   for (const auto& [k, v] : m) s += v;
   return s;
+}
+
+void bad_directory_listing() {
+  // finding: listing order depends on the filesystem, so any output built
+  // from it (e.g. batch trace conversion) differs across hosts
+  for (const auto& e : std::filesystem::directory_iterator(".")) {
+    (void)e;
+  }
+}
+
+const char* bad_temp_path() {
+  return tmpnam(nullptr);  // finding: run-dependent scratch path
 }
 
 // ---- allowlisted uses: the lint must accept these -------------------------

@@ -27,3 +27,13 @@ std::unordered_map<int, int> ok_new_marker_form;
 
 // determinism-ok: legacy marker form, still honored by the engine.
 std::unordered_map<int, int> ok_legacy_marker_form;
+
+void ok_sorted_directory_listing() {
+  std::vector<std::string> names;
+  // bb-analyze-ok(determinism): entries are collected and sorted below, so
+  // the unspecified listing order never reaches any output.
+  for (const auto& e : std::filesystem::directory_iterator(".")) {
+    names.push_back(e.path().string());
+  }
+  std::sort(names.begin(), names.end());
+}
