@@ -28,6 +28,7 @@
 
 #include "common/cli.h"
 #include "common/json.h"
+#include "common/snapshot.h"
 #include "common/prof.h"
 #include "common/table.h"
 #include "sim/experiment.h"
@@ -172,11 +173,9 @@ int run(const Flags& flags) {
               << " req/s\n";
   }
 
-  std::ofstream out(out_path);
-  if (!out) {
-    std::cerr << "throughput: cannot open --out file: " << out_path << "\n";
-    return cli::kExitIo;
-  }
+  // Rendered in memory and committed atomically (temp + rename), so a
+  // crash mid-write never leaves a torn BENCH file for bb_perf to trip on.
+  std::ostringstream out;
   out << "{\n"
       << "  \"schema\": \"bb-bench-throughput\",\n"
       << "  \"schema_version\": 1,\n"
@@ -191,10 +190,7 @@ int run(const Flags& flags) {
         << "\n";
   }
   out << "  ]\n}\n";
-  if (!out.flush()) {
-    std::cerr << "throughput: write failed: " << out_path << "\n";
-    return cli::kExitIo;
-  }
+  snap::write_file_atomic(out_path, out.str());
 
   table.print(std::cout);
   std::cout << "wrote " << out_path << " (git " << git_rev << ")\n";

@@ -32,6 +32,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,6 +42,7 @@
 #include "common/cli.h"
 #include "common/flags.h"
 #include "common/prof.h"
+#include "common/snapshot.h"
 #include "common/table.h"
 #include "fault/fault.h"
 #include "mem/request_queue.h"
@@ -60,6 +62,17 @@ constexpr int kExitInterrupted = cli::kExitInterrupted;
 volatile std::sig_atomic_t g_interrupted = 0;
 void on_sigint(int) { g_interrupted = 1; }
 
+/// Commits a rendered artifact via temp+rename, naming the owning flag in
+/// any I/O error so the user knows which output path to fix.
+void commit_artifact(const char* flag, const std::string& path,
+                     const std::string& content) {
+  try {
+    snap::write_file_atomic(path, content);
+  } catch (const std::ios_base::failure& e) {
+    throw std::ios_base::failure(std::string("--") + flag + ": " + e.what());
+  }
+}
+
 std::vector<std::string> split_csv(const std::string& s) {
   std::vector<std::string> out;
   std::stringstream ss(s);
@@ -74,8 +87,11 @@ int run(const Flags& flags) {
   if (flags.has("help")) {
     std::cout <<
         "usage: bbsim [--designs=a,b,...] [--workloads=x,y,...]\n"
-        "              [--misses=N] [--warmup=PCT] [--cores=N] [--csv]\n"
-        "              [--json]  (full per-run results incl. percentiles)\n"
+        "              [--misses=N] [--warmup=PCT] [--cores=N]\n"
+        "              [--csv[=FILE]]  (results CSV; FILE written\n"
+        "               atomically, default stdout)\n"
+        "              [--json[=FILE]]  (full per-run results incl.\n"
+        "               percentiles; FILE written atomically)\n"
         "              [--profile]  (host-side profiling: phase breakdown,\n"
         "               requests/sec, peak RSS on stderr; --json gains a\n"
         "               separate \"host\" section. Simulated results are\n"
@@ -106,6 +122,17 @@ int run(const Flags& flags) {
         "              [--resume=FILE]  (checkpoint journal: finished cells\n"
         "               are restored from FILE, new cells appended to it;\n"
         "               works for plain and --mix matrices)\n"
+        "              [--snapshot-dir=DIR]  (crash tolerance: per-cell\n"
+        "               mid-run state snapshots live in DIR)\n"
+        "              [--snapshot-interval=N]  (commit a snapshot every N\n"
+        "               trace records; requires --snapshot-dir)\n"
+        "              [--restore]  (resume cells from their snapshot\n"
+        "               files; the resumed run's outputs are byte-identical\n"
+        "               to an uninterrupted one. Requires --snapshot-dir)\n"
+        "              [--cell-timeout=S]  (watchdog: soft per-cell deadline\n"
+        "               in seconds; a cell past it is interrupted, retried\n"
+        "               from its snapshot --cell-retries times (default 1),\n"
+        "               then committed as a timed_out placeholder row)\n"
         "              [--mix=SPEC,...]  (multi-programmed co-runs: each\n"
         "               SPEC is a preset name or w1+w2+... per-core list)\n"
         "              [--instructions=N]  (fixed budget: per cell, or per\n"
@@ -335,11 +362,52 @@ int run(const Flags& flags) {
     cfg.capture = &capture;
   }
 
+  // Crash tolerance: mid-run snapshots, restore, and the cell watchdog.
+  const std::string snapshot_dir = flags.get_string("snapshot-dir", "");
+  const u64 snapshot_interval = flags.get_u64("snapshot-interval", 0);
+  const bool restore = flags.has("restore");
+  const double cell_timeout = flags.get_double("cell-timeout", 0.0);
+  if (snapshot_interval > 0 && snapshot_dir.empty()) {
+    std::cerr << "bbsim: --snapshot-interval requires --snapshot-dir\n";
+    return kExitUsage;
+  }
+  if (restore && snapshot_dir.empty()) {
+    std::cerr << "bbsim: --restore requires --snapshot-dir\n";
+    return kExitUsage;
+  }
+  if (!snapshot_dir.empty() && snapshot_interval == 0 && !restore) {
+    std::cerr << "bbsim: --snapshot-dir needs --snapshot-interval and/or "
+                 "--restore\n";
+    return kExitUsage;
+  }
+  if (!capture_path.empty() &&
+      (!snapshot_dir.empty() || cell_timeout > 0)) {
+    // A capture sink appends the whole miss stream in one pass; a resumed
+    // or interrupted-and-retried run would duplicate records in it.
+    std::cerr << "bbsim: --capture-trace conflicts with --snapshot-dir / "
+                 "--cell-timeout\n";
+    return kExitUsage;
+  }
+  cfg.snapshot.dir = snapshot_dir;
+  cfg.snapshot.interval_records = snapshot_interval;
+  cfg.snapshot.restore = restore;
+  if (cfg.snapshot.configured()) {
+    std::error_code ec;
+    std::filesystem::create_directories(snapshot_dir, ec);
+    if (ec) {
+      std::cerr << "bbsim: cannot create --snapshot-dir: " << snapshot_dir
+                << ": " << ec.message() << "\n";
+      return kExitIo;
+    }
+  }
+
   sim::ExperimentRunner runner(cfg);
   sim::RunMatrixOptions opts;
   opts.jobs = static_cast<unsigned>(flags.get_u64("jobs", 0));
   opts.target_misses = flags.get_u64("misses", 100'000);
   opts.instructions = flags.get_u64("instructions", 0);
+  opts.cell_timeout_s = cell_timeout;
+  opts.cell_retries = static_cast<u32>(flags.get_u64("cell-retries", 1));
 
   // Checkpoint/resume: restore finished cells from the journal, append
   // newly finished cells to it (crash-safe: one line per cell; a torn
@@ -351,11 +419,14 @@ int run(const Flags& flags) {
   sim::ResultJournal journal;
   std::ofstream journal_out;
   if (!resume_file.empty()) {
+    std::vector<std::string> kept_lines;
     if (std::ifstream in{resume_file}) {
-      const auto loaded = journal.load_stats(in);
+      const auto loaded = journal.load_stats(in, &kept_lines);
       in.close();
       if (loaded.restored == 0 && loaded.malformed > 0) {
-        const std::string quarantined = resume_file + ".corrupt";
+        // quarantine_name never reuses an occupied .corrupt path, so a
+        // journal quarantined by an earlier resume is not overwritten.
+        const std::string quarantined = sim::quarantine_name(resume_file);
         if (std::rename(resume_file.c_str(), quarantined.c_str()) != 0) {
           std::cerr << "bbsim: cannot quarantine unparseable --resume file: "
                     << resume_file << "\n";
@@ -369,6 +440,15 @@ int run(const Flags& flags) {
           std::cerr << "bbsim: warning: skipped " << loaded.malformed
                     << " malformed journal line(s) in " << resume_file
                     << " (torn tail from an interrupted run?)\n";
+          // Cleanse the torn tail before appending: atomically rewrite the
+          // journal with only its well-formed lines, so the file a resumed
+          // run leaves behind is byte-identical to an uninterrupted one.
+          std::string cleansed;
+          for (const auto& kept : kept_lines) {
+            cleansed += kept;
+            cleansed += '\n';
+          }
+          commit_artifact("resume", resume_file, cleansed);
         }
         if (loaded.restored > 0) {
           std::cerr << "resume: " << loaded.restored << " entries from "
@@ -480,25 +560,20 @@ int run(const Flags& flags) {
     return kExitInterrupted;
   }
 
+  // File artifacts are rendered in memory and committed with a
+  // write-temp-then-rename, so a crash mid-write never leaves a torn file
+  // (snap::write_file_atomic throws SnapshotError -> exit 3 on failure).
   if (!epoch_csv.empty()) {
-    std::ofstream out(epoch_csv);
-    if (!out) {
-      std::cerr << "bbsim: cannot open --epoch-csv file: " << epoch_csv
-                << "\n";
-      return kExitIo;
-    }
+    std::ostringstream out;
     runner.write_epoch_csv(out);
+    commit_artifact("epoch-csv", epoch_csv, out.str());
   }
   if (!trace_file.empty()) {
-    std::ofstream out(trace_file);
-    if (!out) {
-      std::cerr << "bbsim: cannot open --event-trace file: " << trace_file
-                << "\n";
-      return kExitIo;
-    }
+    std::ostringstream out;
     runner.write_trace(out, trace_format == "chrome"
                                 ? sim::ExperimentRunner::TraceFormat::kChrome
                                 : sim::ExperimentRunner::TraceFormat::kJsonl);
+    commit_artifact("event-trace", trace_file, out.str());
   }
 
   // The host report is assembled after the epoch/trace writes so their io
@@ -533,27 +608,38 @@ int run(const Flags& flags) {
   }
 
   if (flags.has("csv")) {
+    const std::string csv_file = flags.get_string("csv", "");
+    std::ostringstream buf;
+    std::ostream& os = csv_file.empty() ? static_cast<std::ostream&>(std::cout)
+                                        : buf;
     if (mix_mode) {
-      runner.write_mix_csv(std::cout);
+      runner.write_mix_csv(os);
     } else {
-      runner.write_csv(std::cout);
+      runner.write_csv(os);
     }
+    if (!csv_file.empty()) commit_artifact("csv", csv_file, buf.str());
     return 0;
   }
   if (flags.has("json")) {
+    const std::string json_file = flags.get_string("json", "");
+    std::ostringstream buf;
+    std::ostream& os = json_file.empty()
+                           ? static_cast<std::ostream&>(std::cout)
+                           : buf;
     if (mix_mode) {
       if (profile) {
-        runner.write_mix_json(std::cout, host);
+        runner.write_mix_json(os, host);
       } else {
-        runner.write_mix_json(std::cout);
+        runner.write_mix_json(os);
       }
     } else {
       if (profile) {
-        runner.write_json(std::cout, host);
+        runner.write_json(os, host);
       } else {
-        runner.write_json(std::cout);
+        runner.write_json(os);
       }
     }
+    if (!json_file.empty()) commit_artifact("json", json_file, buf.str());
     return 0;
   }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/metrics.h"
+#include "common/snapshot.h"
 #include "common/trace_event.h"
 
 namespace bb::bumblebee {
@@ -1165,6 +1166,110 @@ bool BumblebeeController::check_invariants() const {
     if (!check_set_invariants(sets_[s], s)) return false;
   }
   return true;
+}
+
+void BumblebeeController::save_state(snap::Writer& w) const {
+  save_base_state(w);
+  w.put_u64(sets_.size());
+  for (const SetState& st : sets_) {
+    w.put_u64(st.new_ple.size());
+    for (std::int32_t v : st.new_ple) w.put_i64(v);
+    for (bool o : st.occup) w.put_u8(o ? 1 : 0);
+    w.put_u64(st.ble.size());
+    for (const Ble& b : st.ble) {
+      w.put_u8(static_cast<u8>(b.mode));
+      w.put_u32(b.ple);
+      w.put_u8(b.retired ? 1 : 0);
+      b.valid.save(w);
+      b.dirty.save(w);
+      b.fetched.save(w);
+      b.used.save(w);
+    }
+    st.hot.save(w);
+    w.put_u32(st.zombie_page);
+    w.put_u64(st.zombie_counter);
+    w.put_u32(st.zombie_age);
+    w.put_u64(st.accesses);
+    w.put_u8(st.chbm_disabled ? 1 : 0);
+    w.put_i64(st.last_alloc_page);
+    w.put_u32(st.retired_frames);
+    w.put_u8(st.degraded ? 1 : 0);
+  }
+  w.put_u64(bstats_.prt_misses);
+  w.put_u64(bstats_.block_fetches);
+  w.put_u64(bstats_.page_migrations);
+  w.put_u64(bstats_.cache_to_mem_switches);
+  w.put_u64(bstats_.mem_to_cache_buffers);
+  w.put_u64(bstats_.zombie_evictions);
+  w.put_u64(bstats_.set_swaps);
+  w.put_u64(bstats_.batch_flushes);
+  w.put_u64(bstats_.os_swap_outs);
+  w.put_u64(bstats_.chbm_evictions);
+  w.put_u64(bstats_.mhbm_evictions);
+  w.put_u64(bstats_.frame_retirements);
+  w.put_u64(bstats_.due_refetches);
+  w.put_u64(bstats_.sets_degraded);
+  w.put_u8(high_footprint_mode_ ? 1 : 0);
+  w.put_u32(flush_cursor_);
+  meta_->save(w);
+}
+
+void BumblebeeController::load_state(snap::Reader& r) {
+  load_base_state(r);
+  if (r.get_u64() != sets_.size()) {
+    throw snap::SnapshotError("remapping set count mismatch");
+  }
+  for (u32 set = 0; set < sets_.size(); ++set) {
+    SetState& st = sets_[set];
+    if (r.get_u64() != st.new_ple.size()) {
+      throw snap::SnapshotError("set slot count mismatch");
+    }
+    for (std::int32_t& v : st.new_ple) {
+      v = static_cast<std::int32_t>(r.get_i64());
+    }
+    for (std::size_t j = 0; j < st.occup.size(); ++j) {
+      st.occup[j] = r.get_u8() != 0;
+    }
+    if (r.get_u64() != st.ble.size()) {
+      throw snap::SnapshotError("set frame count mismatch");
+    }
+    for (Ble& b : st.ble) {
+      b.mode = static_cast<Ble::Mode>(r.get_u8());
+      b.ple = r.get_u32();
+      b.retired = r.get_u8() != 0;
+      b.valid.load(r);
+      b.dirty.load(r);
+      b.fetched.load(r);
+      b.used.load(r);
+    }
+    st.hot.load(r);
+    st.zombie_page = r.get_u32();
+    st.zombie_counter = r.get_u64();
+    st.zombie_age = r.get_u32();
+    st.accesses = r.get_u64();
+    st.chbm_disabled = r.get_u8() != 0;
+    st.last_alloc_page = static_cast<std::int32_t>(r.get_i64());
+    st.retired_frames = r.get_u32();
+    st.degraded = r.get_u8() != 0;
+    verify_set(st, set, "load_state");
+  }
+  bstats_.prt_misses = r.get_u64();
+  bstats_.block_fetches = r.get_u64();
+  bstats_.page_migrations = r.get_u64();
+  bstats_.cache_to_mem_switches = r.get_u64();
+  bstats_.mem_to_cache_buffers = r.get_u64();
+  bstats_.zombie_evictions = r.get_u64();
+  bstats_.set_swaps = r.get_u64();
+  bstats_.batch_flushes = r.get_u64();
+  bstats_.os_swap_outs = r.get_u64();
+  bstats_.chbm_evictions = r.get_u64();
+  bstats_.mhbm_evictions = r.get_u64();
+  bstats_.frame_retirements = r.get_u64();
+  bstats_.due_refetches = r.get_u64();
+  bstats_.sets_degraded = r.get_u64();
+  high_footprint_mode_ = r.get_u8() != 0;
+  flush_cursor_ = r.get_u32();
+  meta_->load(r);
 }
 
 }  // namespace bb::bumblebee

@@ -105,6 +105,14 @@ class BumblebeeController final : public hmm::HybridMemoryController {
   /// frames) survives: it is state, not statistics.
   void reset_stats() override;
 
+  /// Full-state snapshot: framework base state, every set's PRT/BLE/hot
+  /// table, the Bumblebee counters, footprint posture, and the metadata
+  /// model. Geometry is construction-time shape; load fails closed on a
+  /// set- or frame-count mismatch.
+  bool snapshot_supported() const override { return true; }
+  void save_state(snap::Writer& w) const override;
+  void load_state(snap::Reader& r) override;
+
  protected:
   hmm::HmmResult service(Addr addr, AccessType type, Tick now) override;
 

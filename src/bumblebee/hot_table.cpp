@@ -1,5 +1,7 @@
 #include "bumblebee/hot_table.h"
 
+#include "common/snapshot.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -130,6 +132,32 @@ void HotTable::remove(u32 page) {
   }
   if (const auto d = find(dram_, page)) {
     dram_.erase(dram_.begin() + static_cast<std::ptrdiff_t>(*d));
+  }
+}
+
+void HotTable::save(snap::Writer& w) const {
+  w.put_u64(hbm_.size());
+  for (const Entry& e : hbm_) {
+    w.put_u32(e.page);
+    w.put_u64(e.counter);
+  }
+  w.put_u64(dram_.size());
+  for (const Entry& e : dram_) {
+    w.put_u32(e.page);
+    w.put_u64(e.counter);
+  }
+}
+
+void HotTable::load(snap::Reader& r) {
+  hbm_.resize(static_cast<std::size_t>(r.get_u64()));
+  for (Entry& e : hbm_) {
+    e.page = r.get_u32();
+    e.counter = r.get_u64();
+  }
+  dram_.resize(static_cast<std::size_t>(r.get_u64()));
+  for (Entry& e : dram_) {
+    e.page = r.get_u32();
+    e.counter = r.get_u64();
   }
 }
 

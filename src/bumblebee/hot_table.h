@@ -20,6 +20,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::bumblebee {
 
 class HotTable {
@@ -76,6 +81,10 @@ class HotTable {
   std::size_t dram_size() const { return dram_.size(); }
   const std::vector<Entry>& hbm_entries() const { return hbm_; }
   const std::vector<Entry>& dram_entries() const { return dram_; }
+
+  /// Snapshot/restore of both queues (capacities are construction-time).
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   static std::optional<std::size_t> find(const std::vector<Entry>& q,

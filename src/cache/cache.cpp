@@ -1,5 +1,7 @@
 #include "cache/cache.h"
 
+#include "common/snapshot.h"
+
 namespace bb::cache {
 
 Cache::Cache(CacheParams params)
@@ -99,6 +101,38 @@ void Cache::flush() {
       }
     }
   }
+}
+
+void Cache::save(snap::Writer& w) const {
+  w.put_u64(lines_.size());
+  for (const Line& ln : lines_) {
+    w.put_u64(ln.tag);
+    w.put_u8(ln.valid ? 1 : 0);
+    w.put_u8(ln.dirty ? 1 : 0);
+    w.put_u64(ln.accesses);
+  }
+  w.put_u64(stats_.hits);
+  w.put_u64(stats_.misses);
+  w.put_u64(stats_.evictions);
+  w.put_u64(stats_.writebacks);
+  policy_->save(w);
+}
+
+void Cache::load(snap::Reader& r) {
+  if (r.get_u64() != lines_.size()) {
+    throw snap::SnapshotError("cache line count mismatch");
+  }
+  for (Line& ln : lines_) {
+    ln.tag = r.get_u64();
+    ln.valid = r.get_u8() != 0;
+    ln.dirty = r.get_u8() != 0;
+    ln.accesses = r.get_u64();
+  }
+  stats_.hits = r.get_u64();
+  stats_.misses = r.get_u64();
+  stats_.evictions = r.get_u64();
+  stats_.writebacks = r.get_u64();
+  policy_->load(r);
 }
 
 }  // namespace bb::cache

@@ -90,6 +90,12 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
+  /// Snapshot/restore of the line array, statistics, and replacement-policy
+  /// state. Geometry is construction-time shape; load fails closed on a
+  /// line-count mismatch.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
+
  private:
   struct Line {
     Addr tag = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/snapshot.h"
+
 namespace bb::cache {
 namespace {
 
@@ -160,5 +162,53 @@ std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind, u64 seed) {
   assert(false && "unknown policy kind");
   return nullptr;
 }
+
+void LruPolicy::save(snap::Writer& w) const {
+  w.put_u64(clock_);
+  w.put_u64(stamp_.size());
+  for (u64 s : stamp_) w.put_u64(s);
+}
+
+void LruPolicy::load(snap::Reader& r) {
+  clock_ = r.get_u64();
+  if (r.get_u64() != stamp_.size()) {
+    throw snap::SnapshotError("LRU stamp count mismatch");
+  }
+  for (u64& s : stamp_) s = r.get_u64();
+}
+
+void RripPolicy::save(snap::Writer& w) const {
+  w.put_u64(lfsr_);
+  w.put_u64(rrpv_.size());
+  for (u8 v : rrpv_) w.put_u8(v);
+}
+
+void RripPolicy::load(snap::Reader& r) {
+  lfsr_ = r.get_u64();
+  if (r.get_u64() != rrpv_.size()) {
+    throw snap::SnapshotError("RRIP state size mismatch");
+  }
+  for (u8& v : rrpv_) v = r.get_u8();
+}
+
+void DrripPolicy::save(snap::Writer& w) const {
+  w.put_u64(lfsr_);
+  w.put_i64(psel_);
+  w.put_u64(rrpv_.size());
+  for (u8 v : rrpv_) w.put_u8(v);
+}
+
+void DrripPolicy::load(snap::Reader& r) {
+  lfsr_ = r.get_u64();
+  psel_ = static_cast<int>(r.get_i64());
+  if (r.get_u64() != rrpv_.size()) {
+    throw snap::SnapshotError("DRRIP state size mismatch");
+  }
+  for (u8& v : rrpv_) v = r.get_u8();
+}
+
+void RandomPolicy::save(snap::Writer& w) const { w.put_u64(lfsr_); }
+
+void RandomPolicy::load(snap::Reader& r) { lfsr_ = r.get_u64(); }
 
 }  // namespace bb::cache

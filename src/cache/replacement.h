@@ -10,6 +10,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::cache {
 
 enum class PolicyKind : u8 { kLru, kSrrip, kBrrip, kDrrip, kRandom };
@@ -42,6 +47,11 @@ class ReplacementPolicy {
   virtual u32 victim(u32 set) = 0;
 
   virtual PolicyKind kind() const = 0;
+
+  /// Snapshot/restore of the policy's recency state (geometry is fixed by
+  /// init() and not serialized).
+  virtual void save(snap::Writer& w) const = 0;
+  virtual void load(snap::Reader& r) = 0;
 };
 
 /// Factory. `seed` feeds any stochastic components (BRRIP, Random).
@@ -55,6 +65,8 @@ class LruPolicy final : public ReplacementPolicy {
   void on_hit(u32 set, u32 way) override { touch(set, way); }
   u32 victim(u32 set) override;
   PolicyKind kind() const override { return PolicyKind::kLru; }
+  void save(snap::Writer& w) const override;
+  void load(snap::Reader& r) override;
 
  private:
   void touch(u32 set, u32 way);
@@ -77,6 +89,8 @@ class RripPolicy final : public ReplacementPolicy {
   PolicyKind kind() const override {
     return bimodal_ ? PolicyKind::kBrrip : PolicyKind::kSrrip;
   }
+  void save(snap::Writer& w) const override;
+  void load(snap::Reader& r) override;
 
  private:
   static constexpr u8 kMaxRrpv = 3;
@@ -97,6 +111,8 @@ class DrripPolicy final : public ReplacementPolicy {
   void on_hit(u32 set, u32 way) override;
   u32 victim(u32 set) override;
   PolicyKind kind() const override { return PolicyKind::kDrrip; }
+  void save(snap::Writer& w) const override;
+  void load(snap::Reader& r) override;
 
  private:
   enum class SetRole : u8 { kFollower, kSrripLeader, kBrripLeader };
@@ -127,6 +143,8 @@ class RandomPolicy final : public ReplacementPolicy {
   void on_hit(u32, u32) override {}
   u32 victim(u32) override;
   PolicyKind kind() const override { return PolicyKind::kRandom; }
+  void save(snap::Writer& w) const override;
+  void load(snap::Reader& r) override;
 
  private:
   u64 lfsr_;

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <vector>
 
+#include "common/snapshot.h"
 #include "common/types.h"
 
 namespace bb {
@@ -63,6 +64,16 @@ class BitVector {
 
   bool operator==(const BitVector& other) const {
     return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  void save(snap::Writer& w) const {
+    w.put_u64(nbits_);
+    for (u64 word : words_) w.put_u64(word);
+  }
+
+  void load(snap::Reader& r) {
+    resize(static_cast<std::size_t>(r.get_u64()));
+    for (u64& word : words_) word = r.get_u64();
   }
 
  private:

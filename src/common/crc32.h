@@ -1,0 +1,45 @@
+// CRC32 (IEEE 802.3, reflected, polynomial 0xEDB88320), shared by the
+// streaming trace layer (per-chunk and stream checksums) and the snapshot
+// container (payload integrity). One table, one implementation, so the two
+// formats can never drift apart on checksum semantics.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace bb {
+
+inline const std::array<u32, 256>& crc32_table() {
+  static const std::array<u32, 256> table = [] {
+    std::array<u32, 256> t{};
+    for (u32 i = 0; i < 256; ++i) {
+      u32 c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline constexpr u32 crc32_init() { return 0xFFFFFFFFu; }
+
+inline u32 crc32_update(u32 state, const u8* data, std::size_t n) {
+  const auto& t = crc32_table();
+  for (std::size_t i = 0; i < n; ++i) {
+    state = t[(state ^ data[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline constexpr u32 crc32_final(u32 state) { return state ^ 0xFFFFFFFFu; }
+
+inline u32 crc32_of(const u8* data, std::size_t n) {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace bb

@@ -16,6 +16,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb {
 
 /// How an epoch row derives its value from the probe snapshots.
@@ -92,6 +97,13 @@ class EpochSampler {
 
   const std::vector<EpochRow>& rows() const { return rows_; }
   const MetricRegistry& registry() const { return registry_; }
+
+  /// Snapshot/restore of the epoch cursor and accumulated rows. The
+  /// registry itself (probe closures) is rebuilt by the restoring run —
+  /// registration order is deterministic, so the restored baseline slots
+  /// line up; load fails closed when the column count disagrees.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   void snapshot(std::vector<double>& out) const;

@@ -69,6 +69,11 @@ class Rng {
   /// Bernoulli trial with probability p (clamped to [0,1]).
   bool next_bool(double p) { return next_double() < p; }
 
+  /// Generator state, for snapshot/restore of in-flight runs. Restoring a
+  /// saved state resumes the stream bit-exactly where it left off.
+  std::array<u64, 4> state() const { return state_; }
+  void set_state(const std::array<u64, 4>& s) { state_ = s; }
+
   /// Geometric-ish positive gap with the given mean (>= 1).
   u64 next_gap(double mean) {
     if (mean <= 1.0) return 1;

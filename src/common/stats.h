@@ -10,6 +10,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb {
 
 /// Monotonic event counter.
@@ -81,6 +86,11 @@ class Histogram {
   double quantile(double q) const;
 
   void reset();
+
+  /// Snapshot/restore of the counts (bounds are construction-time shape and
+  /// must match; load fails closed on a bucket-count mismatch).
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   std::vector<double> bounds_;

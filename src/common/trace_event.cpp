@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "common/json.h"
+#include "common/snapshot.h"
 
 namespace bb {
 
@@ -145,6 +146,43 @@ void write_trace_chrome(const std::vector<TraceEvent>& events,
   bool first = true;
   write_trace_chrome_events(events, os, 0, process_name, first);
   write_trace_chrome_footer(os);
+}
+
+void MemoryTraceSink::save(snap::Writer& w) const {
+  w.put_u64(events_.size());
+  for (const TraceEvent& ev : events_) {
+    w.put_u64(ev.tick);
+    w.put_str(ev.name);
+    w.put_str(ev.cat);
+    w.put_u64(ev.args.size());
+    for (const TraceEvent::Arg& a : ev.args) {
+      w.put_str(a.key);
+      w.put_u8(static_cast<u8>(a.kind));
+      w.put_u64(a.u);
+      w.put_i64(a.i);
+      w.put_f64(a.d);
+      w.put_str(a.s);
+    }
+  }
+}
+
+void MemoryTraceSink::load(snap::Reader& r) {
+  events_.clear();
+  events_.resize(static_cast<std::size_t>(r.get_u64()));
+  for (TraceEvent& ev : events_) {
+    ev.tick = r.get_u64();
+    ev.name = r.get_str();
+    ev.cat = r.get_str();
+    ev.args.resize(static_cast<std::size_t>(r.get_u64()));
+    for (TraceEvent::Arg& a : ev.args) {
+      a.key = r.get_str();
+      a.kind = static_cast<TraceEvent::Arg::Kind>(r.get_u8());
+      a.u = r.get_u64();
+      a.i = r.get_i64();
+      a.d = r.get_f64();
+      a.s = r.get_str();
+    }
+  }
 }
 
 }  // namespace bb

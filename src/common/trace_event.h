@@ -18,6 +18,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb {
 
 /// One discrete simulation event at a simulated tick.
@@ -74,6 +79,10 @@ class MemoryTraceSink final : public TraceSink {
   void emit(TraceEvent ev) override { events_.push_back(std::move(ev)); }
   const std::vector<TraceEvent>& events() const { return events_; }
   std::vector<TraceEvent> take() { return std::move(events_); }
+
+  /// Snapshot/restore of the buffered events (all fields, insertion order).
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   std::vector<TraceEvent> events_;

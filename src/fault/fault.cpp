@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/rng.h"
+#include "common/snapshot.h"
 
 namespace bb::fault {
 
@@ -193,6 +194,29 @@ FaultEvent DeviceFaultState::classify(u32 channel, u32 bank, u32 row,
     return ev;
   }
   return ev;
+}
+
+void DeviceFaultState::save(snap::Writer& w) const {
+  w.put_u64(rows_.size());
+  for (const auto& [key, health] : rows_) {
+    w.put_u64(key);
+    w.put_u32(health.ces);
+    w.put_u8(health.retired ? 1 : 0);
+  }
+  w.put_u64(retired_rows_);
+}
+
+void DeviceFaultState::load(snap::Reader& r) {
+  rows_.clear();
+  const u64 n = r.get_u64();
+  for (u64 i = 0; i < n; ++i) {
+    const u64 key = r.get_u64();
+    RowHealth health;
+    health.ces = r.get_u32();
+    health.retired = r.get_u8() != 0;
+    rows_.emplace(key, health);
+  }
+  retired_rows_ = r.get_u64();
 }
 
 }  // namespace bb::fault

@@ -30,6 +30,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::fault {
 
 /// SECDED classification of one access.
@@ -139,6 +144,11 @@ class DeviceFaultState {
   const FaultConfig& config() const { return cfg_; }
   const DeviceFaultRates& rates() const { return rates_; }
   u64 retired_rows() const { return retired_rows_; }
+
+  /// Snapshot/restore of the mutable state (per-row CE counts and the
+  /// retirement tally); configuration and the hash streams are stateless.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   struct RowHealth {

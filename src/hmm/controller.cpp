@@ -1,9 +1,11 @@
 #include "hmm/controller.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/metrics.h"
 #include "common/prof.h"
+#include "common/snapshot.h"
 #include "common/trace_event.h"
 
 namespace bb::hmm {
@@ -238,6 +240,86 @@ HmmResult DramOnlyController::service(Addr addr, AccessType type, Tick now) {
     ++mutable_stats().due_data_loss;
   }
   return res;
+}
+
+void HybridMemoryController::save_state(snap::Writer&) const {
+  throw std::invalid_argument("design '" + name_ +
+                              "' does not support snapshots");
+}
+
+void HybridMemoryController::load_state(snap::Reader&) {
+  throw std::invalid_argument("design '" + name_ +
+                              "' does not support snapshots");
+}
+
+namespace {
+
+void save_core_stats(snap::Writer& w, const CoreStats& cs) {
+  w.put_u64(cs.requests);
+  w.put_u64(cs.hbm_served);
+  w.put_u64(cs.total_latency);
+  cs.latency_ns.save(w);
+  for (u64 b : cs.hbm_class_bytes) w.put_u64(b);
+  for (u64 b : cs.dram_class_bytes) w.put_u64(b);
+}
+
+void load_core_stats(snap::Reader& r, CoreStats& cs) {
+  cs.requests = r.get_u64();
+  cs.hbm_served = r.get_u64();
+  cs.total_latency = r.get_u64();
+  cs.latency_ns.load(r);
+  for (u64& b : cs.hbm_class_bytes) b = r.get_u64();
+  for (u64& b : cs.dram_class_bytes) b = r.get_u64();
+}
+
+}  // namespace
+
+void HybridMemoryController::save_base_state(snap::Writer& w) const {
+  w.put_u64(stats_.requests);
+  w.put_u64(stats_.reads);
+  w.put_u64(stats_.writes);
+  w.put_u64(stats_.hbm_served);
+  w.put_u64(stats_.total_latency);
+  w.put_u64(stats_.total_metadata_latency);
+  stats_.latency_ns.save(w);
+  w.put_u64(stats_.blocks_fetched);
+  w.put_u64(stats_.fetched_blocks_used);
+  w.put_u64(stats_.migrations);
+  w.put_u64(stats_.evictions);
+  w.put_u64(stats_.mode_switches);
+  w.put_u64(stats_.swaps);
+  w.put_u64(stats_.due_retries);
+  w.put_u64(stats_.due_recovered);
+  w.put_u64(stats_.due_unrecovered);
+  w.put_u64(stats_.due_data_loss);
+  w.put_u64(core_stats_.size());
+  for (const CoreStats& cs : core_stats_) save_core_stats(w, cs);
+  paging_.save(w);
+}
+
+void HybridMemoryController::load_base_state(snap::Reader& r) {
+  stats_.requests = r.get_u64();
+  stats_.reads = r.get_u64();
+  stats_.writes = r.get_u64();
+  stats_.hbm_served = r.get_u64();
+  stats_.total_latency = r.get_u64();
+  stats_.total_metadata_latency = r.get_u64();
+  stats_.latency_ns.load(r);
+  stats_.blocks_fetched = r.get_u64();
+  stats_.fetched_blocks_used = r.get_u64();
+  stats_.migrations = r.get_u64();
+  stats_.evictions = r.get_u64();
+  stats_.mode_switches = r.get_u64();
+  stats_.swaps = r.get_u64();
+  stats_.due_retries = r.get_u64();
+  stats_.due_recovered = r.get_u64();
+  stats_.due_unrecovered = r.get_u64();
+  stats_.due_data_loss = r.get_u64();
+  if (r.get_u64() != core_stats_.size()) {
+    throw snap::SnapshotError("per-core slice count mismatch");
+  }
+  for (CoreStats& cs : core_stats_) load_core_stats(r, cs);
+  paging_.load(r);
 }
 
 }  // namespace bb::hmm

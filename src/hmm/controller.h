@@ -222,6 +222,13 @@ class HybridMemoryController {
   /// retirement path (Bumblebee) override this.
   virtual FaultPosture fault_posture() const { return {}; }
 
+  /// Snapshot capability: designs that can serialize their complete
+  /// in-flight state override these. The default is fail-closed — a
+  /// snapshot request against an unsupporting design is a usage error.
+  virtual bool snapshot_supported() const { return false; }
+  virtual void save_state(snap::Writer& w) const;
+  virtual void load_state(snap::Reader& r);
+
   /// Clears accumulated statistics (not design state) — used to exclude
   /// warmup from measurements. Per-core slices reset in place so their
   /// count (and any registered per-core metric probes) survives.
@@ -272,6 +279,12 @@ class HybridMemoryController {
   TraceSink* trace() const { return trace_; }
   bool tracing() const { return trace_ != nullptr; }
 
+  /// Framework-owned state shared by every design: aggregate and per-core
+  /// statistics plus the paging model. Snapshot-capable designs call these
+  /// from their save_state/load_state overrides.
+  void save_base_state(snap::Writer& w) const;
+  void load_base_state(snap::Reader& r);
+
  private:
   std::string name_;
   mem::DramDevice& hbm_;
@@ -292,6 +305,10 @@ class DramOnlyController final : public HybridMemoryController {
                      PagingConfig paging);
 
   u64 metadata_sram_bytes() const override { return 0; }
+
+  bool snapshot_supported() const override { return true; }
+  void save_state(snap::Writer& w) const override { save_base_state(w); }
+  void load_state(snap::Reader& r) override { load_base_state(r); }
 
  protected:
   HmmResult service(Addr addr, AccessType type, Tick now) override;

@@ -19,6 +19,11 @@
 #include "common/types.h"
 #include "mem/dram_device.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::hmm {
 
 enum class MetadataPlacement : u8 { kSram, kHbm, kSramCachedHbm };
@@ -67,6 +72,11 @@ class MetadataModel {
     stats_ = MetadataStats{};
     if (sram_cache_) sram_cache_->reset_stats();
   }
+
+  /// Snapshot/restore of the lookup counters and (when present) the SRAM
+  /// metadata cache contents.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   Addr key_to_hbm_addr(u64 key) const {

@@ -1,5 +1,6 @@
 #include "hmm/paging.h"
 
+#include "common/snapshot.h"
 #include "common/trace_event.h"
 
 namespace bb::hmm {
@@ -52,6 +53,33 @@ Tick PagingModel::touch(Addr addr, Tick now) {
                      .arg("penalty_ns", ticks_to_ns(cfg_.fault_penalty)));
   }
   return cfg_.fault_penalty;
+}
+
+void PagingModel::save(snap::Writer& w) const {
+  w.put_u64(stats_.faults);
+  w.put_u64(stats_.first_touches);
+  w.put_u64(ring_.size());
+  for (u64 page : ring_) w.put_u64(page);
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    w.put_u8(referenced_[i] ? 1 : 0);
+  }
+  w.put_u64(hand_);
+}
+
+void PagingModel::load(snap::Reader& r) {
+  stats_.faults = r.get_u64();
+  stats_.first_touches = r.get_u64();
+  ring_.resize(static_cast<std::size_t>(r.get_u64()));
+  for (u64& page : ring_) page = r.get_u64();
+  referenced_.resize(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    referenced_[i] = r.get_u8() != 0;
+  }
+  hand_ = static_cast<std::size_t>(r.get_u64());
+  resident_.clear();
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    resident_.emplace(ring_[i], static_cast<u32>(i));
+  }
 }
 
 }  // namespace bb::hmm

@@ -18,6 +18,11 @@ namespace bb {
 class TraceSink;
 }  // namespace bb
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::hmm {
 
 struct PagingConfig {
@@ -52,6 +57,11 @@ class PagingModel {
   /// clock ring survive — the OS does not forget which pages are resident
   /// when measurement starts.
   void reset_stats() { stats_ = PagingStats{}; }
+
+  /// Snapshot/restore of the resident set (clock ring + reference bits +
+  /// hand) and fault counters; the page->slot map is rebuilt from the ring.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   TraceSink* trace_ = nullptr;

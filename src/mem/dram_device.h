@@ -142,6 +142,13 @@ class DramDevice final : private QueueBackend {
   /// Clears statistics (bank/bus state is retained).
   void reset_stats();
 
+  /// Snapshot/restore of the full device state: bank FSMs, bus/refresh
+  /// cursors, statistics, energy counters, and the scheduler (when the
+  /// queue layer is on). Geometry and the queue-layer presence are
+  /// construction-time shape; load fails closed on a mismatch.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
+
   /// Registers this device's epoch metrics under `prefix` (e.g. "hbm_"):
   /// per-epoch row-hit rate and bytes moved per traffic class, plus ECC
   /// counters when a fault model is attached.

@@ -71,6 +71,13 @@ class EnergyModel {
 
   void reset() { acts_ = rd_bursts_ = wr_bursts_ = 0; }
 
+  /// Snapshot support: reinstates the command counters of a saved run.
+  void restore_counts(u64 acts, u64 rd_bursts, u64 wr_bursts) {
+    acts_ = acts;
+    rd_bursts_ = rd_bursts;
+    wr_bursts_ = wr_bursts;
+  }
+
  private:
   const DramTimingParams* p_;
   u64 acts_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/snapshot.h"
+
 namespace bb::mem {
 
 ChannelScheduler::ChannelScheduler(const QueueConfig& cfg, u32 channels)
@@ -141,6 +143,63 @@ void ChannelScheduler::drain_all(Tick now, QueueBackend& dev) {
     drain_to(ch, 0, now, dev);
     ch.mshrs.clear();
   }
+}
+
+void ChannelScheduler::save(snap::Writer& w) const {
+  w.put_u64(channels_.size());
+  for (const Channel& ch : channels_) {
+    w.put_u64(ch.writes.size());
+    for (const QueuedWrite& qw : ch.writes) {
+      w.put_u64(qw.addr);
+      w.put_u64(qw.bytes);
+      w.put_u64(qw.arrival);
+    }
+    w.put_u64(ch.mshrs.size());
+    for (const Mshr& m : ch.mshrs) {
+      w.put_u64(m.block);
+      w.put_u64(m.complete);
+    }
+  }
+  w.put_u64(stats_.reads_issued);
+  w.put_u64(stats_.reads_coalesced);
+  w.put_u64(stats_.writes_enqueued);
+  w.put_u64(stats_.writes_drained);
+  w.put_u64(stats_.write_drain_count);
+  w.put_u64(stats_.write_queue_full_stalls);
+  w.put_u64(stats_.queueing_latency_sum);
+  w.put_u64(stats_.read_queue_latency_sum);
+  w.put_u64(stats_.req_queue_length_sum);
+  w.put_u64(stats_.queue_length_samples);
+}
+
+void ChannelScheduler::load(snap::Reader& r) {
+  const u64 nch = r.get_u64();
+  if (nch != channels_.size()) {
+    throw snap::SnapshotError("scheduler channel count mismatch");
+  }
+  for (Channel& ch : channels_) {
+    ch.writes.resize(static_cast<std::size_t>(r.get_u64()));
+    for (QueuedWrite& qw : ch.writes) {
+      qw.addr = r.get_u64();
+      qw.bytes = r.get_u64();
+      qw.arrival = r.get_u64();
+    }
+    ch.mshrs.resize(static_cast<std::size_t>(r.get_u64()));
+    for (Mshr& m : ch.mshrs) {
+      m.block = r.get_u64();
+      m.complete = r.get_u64();
+    }
+  }
+  stats_.reads_issued = r.get_u64();
+  stats_.reads_coalesced = r.get_u64();
+  stats_.writes_enqueued = r.get_u64();
+  stats_.writes_drained = r.get_u64();
+  stats_.write_drain_count = r.get_u64();
+  stats_.write_queue_full_stalls = r.get_u64();
+  stats_.queueing_latency_sum = r.get_u64();
+  stats_.read_queue_latency_sum = r.get_u64();
+  stats_.req_queue_length_sum = r.get_u64();
+  stats_.queue_length_samples = r.get_u64();
 }
 
 }  // namespace bb::mem

@@ -20,6 +20,11 @@
 
 #include "common/types.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::mem {
 
 /// Configuration of the request-queue layer, carried per device inside
@@ -160,6 +165,12 @@ class ChannelScheduler {
   const QueueStats& stats() const { return stats_; }
   void reset_stats() { stats_ = QueueStats{}; }
   const QueueConfig& config() const { return cfg_; }
+
+  /// Snapshot/restore of queued writes, in-flight MSHRs, and statistics.
+  /// Load fails closed when the channel count disagrees with this
+  /// scheduler's construction-time shape.
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
 
  private:
   struct QueuedWrite {

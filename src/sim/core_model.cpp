@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/prof.h"
+#include "common/snapshot.h"
 #include "trace/stream.h"
 
 namespace bb::sim {
@@ -18,20 +19,49 @@ CoreModel::CoreModel(const CoreParams& params) : params_(params) {
   cpi_ticks_den_ = 1024;
 }
 
-namespace {
+void RunLoopState::save(snap::Writer& w) const {
+  w.put_u64(cores.size());
+  for (const Core& c : cores) {
+    w.put_u64(c.now);
+    w.put_u64(c.inst);
+    w.put_u64(c.misses);
+    w.put_u64(c.inst_at_reset);
+    w.put_u64(c.rob.size());
+    for (const auto& [inst_at_issue, complete] : c.rob) {
+      w.put_u64(inst_at_issue);
+      w.put_u64(complete);
+    }
+  }
+  w.put_u64(total_inst);
+  w.put_u64(measured_misses);
+  w.put_u64(inst_at_reset);
+  w.put_u64(tick_at_reset);
+  w.put_u8(warm ? 1 : 0);
+  w.put_u64(records);
+}
 
-/// Per-core replay state: its own trace stream, clock, and ROB.
-struct CoreState {
-  trace::TraceSource* src = nullptr;  ///< not owned
-  Addr base = 0;
-  Tick now = 0;
-  u64 inst = 0;
-  u64 misses = 0;          ///< misses since the warmup reset
-  u64 inst_at_reset = 0;   ///< instruction count at the warmup reset
-  std::deque<std::pair<u64, Tick>> rob;  ///< (inst at issue, completion)
-};
-
-}  // namespace
+void RunLoopState::load(snap::Reader& r) {
+  cores.resize(static_cast<std::size_t>(r.get_u64()));
+  for (Core& c : cores) {
+    c.now = r.get_u64();
+    c.inst = r.get_u64();
+    c.misses = r.get_u64();
+    c.inst_at_reset = r.get_u64();
+    c.rob.clear();
+    const u64 depth = r.get_u64();
+    for (u64 i = 0; i < depth; ++i) {
+      const u64 inst_at_issue = r.get_u64();
+      const Tick complete = r.get_u64();
+      c.rob.emplace_back(inst_at_issue, complete);
+    }
+  }
+  total_inst = r.get_u64();
+  measured_misses = r.get_u64();
+  inst_at_reset = r.get_u64();
+  tick_at_reset = r.get_u64();
+  warm = r.get_u8() != 0;
+  records = r.get_u64();
+}
 
 std::vector<CoreLane> CoreModel::homogeneous_lanes(
     const trace::WorkloadProfile& profile, u64 seed, u32 cores) {
@@ -76,62 +106,81 @@ CoreResult CoreModel::run_lanes(const std::vector<CoreLane>& lanes,
 CoreResult CoreModel::run_sources(
     const std::vector<trace::TraceSource*>& sources,
     const std::vector<Addr>& bases, u64 target_instructions,
-    hmm::HybridMemoryController& hmmc, u64 warmup_instructions) {
+    hmm::HybridMemoryController& hmmc, u64 warmup_instructions,
+    const RunControl* control) {
   BB_CHECK(!sources.empty(), "run_sources needs at least one source");
   BB_CHECK(sources.size() == bases.size(),
            "run_sources needs one address base per source");
   CoreResult res;
   const u32 n = static_cast<u32>(sources.size());
-  std::vector<CoreState> cores(n);
-  for (u32 c = 0; c < n; ++c) {
-    cores[c].src = sources[c];
-    cores[c].base = bases[c];
+  RunLoopState ls;
+  if (control != nullptr && control->resume != nullptr) {
+    // Resuming: the loop state picks up mid-run; the memory system and
+    // trace sources were restored by the caller to the same record
+    // boundary, so the replay continues bit-exactly.
+    ls = *control->resume;
+    BB_CHECK(ls.cores.size() == sources.size(),
+             "resume state core count must match the source count");
+  } else {
+    ls.cores.resize(n);
+    ls.warm = warmup_instructions == 0;
+    if (ls.warm) {
+      // No warmup: the measured phase starts at tick 0. Announce it anyway
+      // so the warmup_end trace event and epoch-0 alignment are
+      // unconditional.
+      hmmc.on_warmup_end(0);
+    }
   }
 
-  u64 total_inst = 0;
-  u64 measured_misses = 0;
-  u64 inst_at_reset = 0;
-  Tick tick_at_reset = 0;
-  bool warm = warmup_instructions == 0;
-  if (warm) {
-    // No warmup: the measured phase starts at tick 0. Announce it anyway so
-    // the warmup_end trace event and epoch-0 alignment are unconditional.
-    hmmc.on_warmup_end(0);
-  }
+  const u64 checkpoint_every =
+      control != nullptr ? control->checkpoint_every_records : 0;
+  const u64 poll_every = checkpoint_every > 0 ? checkpoint_every : 65536;
+  u64 next_mark = ls.records + poll_every;
+
   const u64 end_inst = target_instructions + warmup_instructions;
-  while (total_inst < end_inst) {
-    if (!warm && total_inst >= warmup_instructions) {
-      warm = true;
-      inst_at_reset = total_inst;
-      for (auto& core : cores) {
-        tick_at_reset = std::max(tick_at_reset, core.now);
+  while (ls.total_inst < end_inst) {
+    if (control != nullptr && ls.records >= next_mark) {
+      next_mark = ls.records + poll_every;
+      if (checkpoint_every > 0 && control->on_checkpoint) {
+        control->on_checkpoint(ls);
+      }
+      if (control->interrupted && control->interrupted()) {
+        throw RunInterrupted{};
+      }
+    }
+    if (!ls.warm && ls.total_inst >= warmup_instructions) {
+      ls.warm = true;
+      ls.inst_at_reset = ls.total_inst;
+      for (auto& core : ls.cores) {
+        ls.tick_at_reset = std::max(ls.tick_at_reset, core.now);
         core.inst_at_reset = core.inst;
         core.misses = 0;
       }
       hmmc.reset_stats();
       hmmc.hbm().reset_stats();
       hmmc.dram().reset_stats();
-      hmmc.on_warmup_end(tick_at_reset);
-      measured_misses = 0;
+      hmmc.on_warmup_end(ls.tick_at_reset);
+      ls.measured_misses = 0;
     }
     // Advance the core that is furthest behind in simulated time, so
     // requests reach the memory system in (approximate) time order.
     u32 next = 0;
     for (u32 c = 1; c < n; ++c) {
-      if (cores[c].now < cores[next].now) next = c;
+      if (ls.cores[c].now < ls.cores[next].now) next = c;
     }
-    CoreState& core = cores[next];
+    RunLoopState::Core& core = ls.cores[next];
 
     const trace::TraceRecord rec = [&] {
       prof::ScopedPhase phase(prof::Phase::kTraceGen);
-      return core.src->next();
+      return sources[next]->next();
     }();
+    ++ls.records;
     if (capture_ != nullptr) {
       // Record the merged stream exactly as the memory system sees it:
       // lane base folded in, consumption order preserved.
-      capture_->append({rec.inst_gap, core.base + rec.addr, rec.type});
+      capture_->append({rec.inst_gap, bases[next] + rec.addr, rec.type});
     }
-    total_inst += rec.inst_gap;
+    ls.total_inst += rec.inst_gap;
 
     // Advance through the gap in segments bounded by ROB retirement: the
     // core may run only rob_window instructions past the oldest
@@ -159,28 +208,30 @@ CoreResult CoreModel::run_sources(
     }
 
     const Tick issue = core.now + params_.hierarchy_latency;
-    const auto r = hmmc.access(core.base + rec.addr, rec.type, issue, next);
+    const auto r = hmmc.access(bases[next] + rec.addr, rec.type, issue, next);
     core.rob.push_back({core.inst, r.complete});
-    ++measured_misses;
+    ++ls.measured_misses;
     ++core.misses;
   }
 
   Tick end = 0;
-  for (auto& core : cores) {
+  for (auto& core : ls.cores) {
     for (const auto& o : core.rob) core.now = std::max(core.now, o.second);
     end = std::max(end, core.now);
   }
   hmmc.drain(end);
 
-  res.instructions = total_inst - inst_at_reset;
-  res.misses = measured_misses;
-  res.elapsed = end - tick_at_reset;
+  res.instructions = ls.total_inst - ls.inst_at_reset;
+  res.misses = ls.measured_misses;
+  res.elapsed = end - ls.tick_at_reset;
   res.per_core.resize(n);
   for (u32 c = 0; c < n; ++c) {
-    res.per_core[c].instructions = cores[c].inst - cores[c].inst_at_reset;
-    res.per_core[c].misses = cores[c].misses;
-    res.per_core[c].elapsed =
-        cores[c].now > tick_at_reset ? cores[c].now - tick_at_reset : 0;
+    res.per_core[c].instructions =
+        ls.cores[c].inst - ls.cores[c].inst_at_reset;
+    res.per_core[c].misses = ls.cores[c].misses;
+    res.per_core[c].elapsed = ls.cores[c].now > ls.tick_at_reset
+                                  ? ls.cores[c].now - ls.tick_at_reset
+                                  : 0;
   }
   return res;
 }

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/types.h"
@@ -42,6 +43,50 @@ struct CoreLane {
   /// give each lane its own process footprint (multi-programmed mixes);
   /// base 0 everywhere shares one address space (the homogeneous model).
   Addr base = 0;
+};
+
+/// Serializable state of an in-flight run_sources loop: everything the
+/// loop itself owns — per-core clocks, instruction cursors and ROBs, plus
+/// the aggregate instruction/miss cursors and the warmup posture. Trace
+/// source positions and memory-system state are serialized separately by
+/// their owners; together they reconstruct the run bit-exactly.
+struct RunLoopState {
+  struct Core {
+    Tick now = 0;
+    u64 inst = 0;
+    u64 misses = 0;          ///< misses since the warmup reset
+    u64 inst_at_reset = 0;   ///< instruction count at the warmup reset
+    std::deque<std::pair<u64, Tick>> rob;  ///< (inst at issue, completion)
+  };
+  std::vector<Core> cores;
+  u64 total_inst = 0;
+  u64 measured_misses = 0;
+  u64 inst_at_reset = 0;
+  Tick tick_at_reset = 0;
+  bool warm = false;
+  u64 records = 0;  ///< trace records consumed (checkpoint cadence)
+
+  void save(snap::Writer& w) const;
+  void load(snap::Reader& r);
+};
+
+/// Thrown out of run_sources when RunControl::interrupted() reports true
+/// at a record boundary — the matrix watchdog's soft-deadline signal. The
+/// loop state at the throw is whatever the last checkpoint captured.
+struct RunInterrupted {};
+
+/// Checkpoint / resume / interrupt hooks for run_sources. Every callback
+/// fires at record boundaries only, so a checkpoint always captures a
+/// consistent state (never a half-applied request).
+struct RunControl {
+  /// Invoke on_checkpoint every N consumed records (0 = never).
+  u64 checkpoint_every_records = 0;
+  std::function<void(const RunLoopState&)> on_checkpoint;
+  /// Resume from this state instead of starting fresh.
+  const RunLoopState* resume = nullptr;
+  /// Polled at checkpoint cadence (or every 64 Ki records when
+  /// checkpointing is off); returning true aborts via RunInterrupted.
+  std::function<bool()> interrupted;
 };
 
 struct CoreResult {
@@ -110,11 +155,14 @@ class CoreModel {
   /// with freshly seeded generators, so both paths share one replay loop
   /// and stay bit-identical. `sources` must be non-empty and sized like
   /// `bases`; the sources must outlive the call.
+  /// `control` (optional) adds checkpoint/resume/interrupt behavior —
+  /// see RunControl; the hot loop is unchanged when it is null.
   CoreResult run_sources(const std::vector<trace::TraceSource*>& sources,
                          const std::vector<Addr>& bases,
                          u64 target_instructions,
                          hmm::HybridMemoryController& hmmc,
-                         u64 warmup_instructions = 0);
+                         u64 warmup_instructions = 0,
+                         const RunControl* control = nullptr);
 
   /// Attaches a capture sink: every record consumed by run_sources /
   /// run_lanes (warmup included) is appended with its lane base folded

@@ -11,6 +11,7 @@
 
 #include "common/json.h"
 #include "common/prof.h"
+#include "common/snapshot.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "trace/stream.h"
@@ -49,12 +50,19 @@ bool has_queue_fields(const RunResult& r) {
          r.req_queue_length_avg != 0 || r.write_drain_count != 0;
 }
 
+/// True when any row of the sweep is a watchdog placeholder — gates the
+/// timed_out column so deadline-free outputs keep their historical shape.
+bool any_timed_out(const std::vector<RunResult>& results) {
+  return std::any_of(results.begin(), results.end(),
+                     [](const RunResult& r) { return r.timed_out; });
+}
+
 /// One result as a single-line JSON object — the element format of
 /// write_json and the line format of the checkpoint journal. The
 /// reliability and request-queue fields are emitted only on request so
 /// legacy outputs stay byte-identical to their earlier forms.
 std::string result_to_json(const RunResult& r, bool include_fault,
-                           bool include_queue) {
+                           bool include_queue, bool include_timeout) {
   std::string out = "{";
   out += "\"design\":\"" + json_escape(r.design) + "\",";
   out += "\"workload\":\"" + json_escape(r.workload) + "\",";
@@ -94,6 +102,9 @@ std::string result_to_json(const RunResult& r, bool include_fault,
            ',';
     out += "\"write_drain_count\":" + std::to_string(r.write_drain_count) +
            ',';
+  }
+  if (include_timeout) {
+    out += "\"timed_out\":" + std::to_string(r.timed_out ? 1 : 0) + ',';
   }
   out += "\"hbm_class_bytes\":";
   append_class_object(out, r.hbm_class_bytes);
@@ -138,6 +149,7 @@ bool parse_run_result(const JsonValue& v, RunResult& r) {
   r.read_queue_latency_avg = v.get_number("read_queue_latency_avg");
   r.req_queue_length_avg = v.get_number("req_queue_length_avg");
   r.write_drain_count = static_cast<u64>(v.get_number("write_drain_count"));
+  r.timed_out = v.get_number("timed_out") != 0;
   const auto load_classes =
       [&v](const char* key, std::array<u64, mem::kTrafficClassCount>& out) {
         const JsonValue* obj = v.find(key);
@@ -155,7 +167,7 @@ bool parse_run_result(const JsonValue& v, RunResult& r) {
 /// One MixResult as a single-line JSON object — the element format of
 /// write_mix_json and the "mix" journal line (minus the kind key).
 std::string mix_result_to_json(const MixResult& r, bool include_fault,
-                               bool include_queue) {
+                               bool include_queue, bool include_timeout) {
   std::string out = "{\"design\":\"" + json_escape(r.design) +
                     "\",\"mix\":\"" + json_escape(r.mix) +
                     "\",\"weighted_speedup\":" +
@@ -164,7 +176,7 @@ std::string mix_result_to_json(const MixResult& r, bool include_fault,
                     ",\"max_slowdown\":" + json_double(r.max_slowdown) +
                     ",\"aggregate\":" +
                     result_to_json(r.aggregate, include_fault,
-                                   include_queue) +
+                                   include_queue, include_timeout) +
                     ",\"cores\":[";
   for (std::size_t c = 0; c < r.cores.size(); ++c) {
     const MixCoreResult& core = r.cores[c];
@@ -189,7 +201,8 @@ std::string mix_result_to_json(const MixResult& r, bool include_fault,
 
 }  // namespace
 
-ResultJournal::LoadStats ResultJournal::load_stats(std::istream& is) {
+ResultJournal::LoadStats ResultJournal::load_stats(
+    std::istream& is, std::vector<std::string>* well_formed) {
   LoadStats st;
   std::string line_text;
   while (std::getline(is, line_text)) {
@@ -261,6 +274,7 @@ ResultJournal::LoadStats ResultJournal::load_stats(std::istream& is) {
       ++st.malformed;
       continue;
     }
+    if (well_formed != nullptr) well_formed->push_back(line_text);
     ++st.restored;
   }
   return st;
@@ -269,8 +283,13 @@ ResultJournal::LoadStats ResultJournal::load_stats(std::istream& is) {
 const RunResult* ResultJournal::find(const std::string& design,
                                      const std::string& workload) const {
   // Last line wins, in case an interrupted run journaled a cell twice.
+  // Watchdog placeholders are never restored: a resumed sweep (typically
+  // with a longer deadline or a snapshot to pick up from) retries them.
   for (auto it = rows_.rbegin(); it != rows_.rend(); ++it) {
-    if (it->design == design && it->workload == workload) return &*it;
+    if (it->design == design && it->workload == workload) {
+      if (it->timed_out) continue;
+      return &*it;
+    }
   }
   return nullptr;
 }
@@ -286,13 +305,17 @@ const double* ResultJournal::find_alone(const std::string& design,
 const MixResult* ResultJournal::find_mix(const std::string& design,
                                          const std::string& mix) const {
   for (auto it = mix_rows_.rbegin(); it != mix_rows_.rend(); ++it) {
-    if (it->design == design && it->mix == mix) return &*it;
+    if (it->design == design && it->mix == mix) {
+      if (it->aggregate.timed_out) continue;
+      return &*it;
+    }
   }
   return nullptr;
 }
 
 std::string ResultJournal::line(const RunResult& r) {
-  return result_to_json(r, has_fault_fields(r), has_queue_fields(r));
+  return result_to_json(r, has_fault_fields(r), has_queue_fields(r),
+                        r.timed_out);
 }
 
 std::string ResultJournal::alone_line(const std::string& design,
@@ -307,9 +330,18 @@ std::string ResultJournal::mix_line(const MixResult& r) {
   std::string out = "{\"kind\":\"mix\",";
   // Splice the kind key into the shared mix-object serialization.
   out += mix_result_to_json(r, has_fault_fields(r.aggregate),
-                            has_queue_fields(r.aggregate))
+                            has_queue_fields(r.aggregate),
+                            r.aggregate.timed_out)
              .substr(1);
   return out;
+}
+
+std::string quarantine_name(const std::string& path) {
+  std::string candidate = path + ".corrupt";
+  for (u64 n = 1; snap::file_exists(candidate); ++n) {
+    candidate = path + ".corrupt." + std::to_string(n);
+  }
+  return candidate;
 }
 
 ExperimentRunner::ExperimentRunner(SystemConfig cfg) : cfg_(std::move(cfg)) {}
@@ -447,6 +479,37 @@ void ExperimentRunner::run_cells(
                  done, total, elapsed, eta);
   };
 
+  // Watchdog: runs one cell under the per-attempt soft deadline. Each
+  // retry re-arms the clock and (when snapshots are configured) resumes
+  // from the snapshot the interrupted attempt committed last; exhausted
+  // retries commit a timed_out placeholder row so the sweep degrades
+  // gracefully instead of hanging.
+  auto guarded_cell = [&](System& system, std::size_t d,
+                          const trace::WorkloadProfile& w,
+                          u64 instructions) -> RunResult {
+    if (opts.cell_timeout_s <= 0) return cell(system, d, w, instructions);
+    const u32 attempts = 1 + opts.cell_retries;
+    for (u32 a = 0; a < attempts; ++a) {
+      const prof::Stopwatch watchdog;
+      system.set_interrupt([&watchdog, limit = opts.cell_timeout_s] {
+        return watchdog.seconds() > limit;
+      });
+      try {
+        RunResult r = cell(system, d, w, instructions);
+        system.set_interrupt(nullptr);
+        return r;
+      } catch (const RunInterrupted&) {
+        system.set_interrupt(nullptr);
+        if (a + 1 < attempts) system.allow_restore_once();
+      }
+    }
+    RunResult r;
+    r.design = design_name(d);
+    r.workload = w.name;
+    r.timed_out = true;
+    return r;
+  };
+
   unsigned jobs = opts.jobs ? opts.jobs : ThreadPool::default_concurrency();
   jobs = static_cast<unsigned>(
       std::min<std::size_t>(jobs, total));
@@ -462,7 +525,7 @@ void ExperimentRunner::run_cells(
           results_.push_back(*prior);
           continue;
         }
-        RunResult r = cell(system, d, workloads[w], instr[w]);
+        RunResult r = guarded_cell(system, d, workloads[w], instr[w]);
         if (opts.progress) report(++done);
         if (opts.on_result) opts.on_result(r);
         results_.push_back(std::move(r));
@@ -505,7 +568,7 @@ void ExperimentRunner::run_cells(
       // already running finish and journal normally).
       skip = true;
     } else {
-      r = cell(*systems[worker], d, workloads[w], instr[w]);
+      r = guarded_cell(*systems[worker], d, workloads[w], instr[w]);
     }
 
     std::lock_guard<std::mutex> lk(mu);
@@ -576,6 +639,35 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
   // the alone baselines append too would interleave three runs' records.
   alone_cfg.capture = nullptr;
 
+  // Watchdog wrapper for one alone baseline. An exhausted deadline
+  // commits ipc 0, which the speedup scoring already treats as "no
+  // baseline" (the core is skipped), so the mix scores stay well-defined.
+  auto guarded_alone = [&](System& system, std::size_t i) -> double {
+    const auto run_once = [&] {
+      return system
+          .run(pairs[i].first,
+               trace::WorkloadProfile::by_name(pairs[i].second), budget)
+          .ipc;
+    };
+    if (opts.cell_timeout_s <= 0) return run_once();
+    const u32 attempts = 1 + opts.cell_retries;
+    for (u32 a = 0; a < attempts; ++a) {
+      const prof::Stopwatch watchdog;
+      system.set_interrupt([&watchdog, limit = opts.cell_timeout_s] {
+        return watchdog.seconds() > limit;
+      });
+      try {
+        const double ipc = run_once();
+        system.set_interrupt(nullptr);
+        return ipc;
+      } catch (const RunInterrupted&) {
+        system.set_interrupt(nullptr);
+        if (a + 1 < attempts) system.allow_restore_once();
+      }
+    }
+    return 0.0;
+  };
+
   // Commits one finished baseline: the cache feeds phase 2, on_alone
   // checkpoints it. Cancelled pairs are never committed (and never
   // journaled), so a resumed run re-simulates exactly those.
@@ -591,12 +683,7 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
     System system(alone_cfg);
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       if (opts.cancel && opts.cancel()) break;
-      commit_alone(
-          i, system
-                 .run(pairs[i].first,
-                      trace::WorkloadProfile::by_name(pairs[i].second),
-                      budget)
-                 .ipc);
+      commit_alone(i, guarded_alone(system, i));
       if (opts.progress) {
         std::fprintf(stderr, "[mix] alone %zu/%zu baselines\n", i + 1,
                      pairs.size());
@@ -618,11 +705,7 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
       double ipc = 0;
       bool skip = true;
       if (!(opts.cancel && opts.cancel())) {
-        ipc = systems[worker]
-                  ->run(pairs[i].first,
-                        trace::WorkloadProfile::by_name(pairs[i].second),
-                        budget)
-                  .ipc;
+        ipc = guarded_alone(*systems[worker], i);
         skip = false;
       }
       std::lock_guard<std::mutex> lk(mu);
@@ -652,6 +735,38 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
     if (!opts.resume) return nullptr;
     return opts.resume->find_mix(designs[d], mixes[m].name);
   };
+  // Watchdog wrapper for one co-run cell (same contract as run_cells'
+  // guarded_cell: retry from snapshot, then a timed_out placeholder).
+  auto guarded_mix_cell = [&](System& system, std::size_t d,
+                              std::size_t m) -> MixResult {
+    if (opts.cell_timeout_s <= 0) {
+      return run_mix_cell(system, designs[d], mixes[m], budget, alone_ipc_);
+    }
+    const u32 attempts = 1 + opts.cell_retries;
+    for (u32 a = 0; a < attempts; ++a) {
+      const prof::Stopwatch watchdog;
+      system.set_interrupt([&watchdog, limit = opts.cell_timeout_s] {
+        return watchdog.seconds() > limit;
+      });
+      try {
+        MixResult r =
+            run_mix_cell(system, designs[d], mixes[m], budget, alone_ipc_);
+        system.set_interrupt(nullptr);
+        return r;
+      } catch (const RunInterrupted&) {
+        system.set_interrupt(nullptr);
+        if (a + 1 < attempts) system.allow_restore_once();
+      }
+    }
+    MixResult r;
+    r.design = designs[d];
+    r.mix = mixes[m].name;
+    r.aggregate.design = designs[d];
+    r.aggregate.workload = mixes[m].name;
+    r.aggregate.timed_out = true;
+    return r;
+  };
+
   auto commit = [&](MixResult&& r, bool from_journal) {
     if (!from_journal) {
       if (opts.on_result) opts.on_result(r.aggregate);
@@ -669,9 +784,7 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
           commit(MixResult(*prior), /*from_journal=*/true);
         } else {
           if (opts.cancel && opts.cancel()) return;
-          commit(run_mix_cell(system, designs[d], mixes[m], budget,
-                              alone_ipc_),
-                 /*from_journal=*/false);
+          commit(guarded_mix_cell(system, d, m), /*from_journal=*/false);
         }
         if (opts.progress) {
           std::fprintf(stderr, "[mix] %zu/%zu co-runs\n",
@@ -706,8 +819,7 @@ void ExperimentRunner::run_mix_matrix(const std::vector<std::string>& designs,
     } else if (opts.cancel && opts.cancel()) {
       skip = true;
     } else {
-      r = run_mix_cell(*systems[worker], designs[d], mixes[m], budget,
-                       alone_ipc_);
+      r = guarded_mix_cell(*systems[worker], d, m);
     }
     std::lock_guard<std::mutex> lk(mu);
     slots[i] = std::move(r);
@@ -757,9 +869,10 @@ void ExperimentRunner::write_mix_json(std::ostream& os) const {
   prof::ScopedPhase prof_phase(prof::Phase::kIo);
   const bool fault = cfg_.fault.enabled();
   const bool queue = queue_configured();
+  const bool timeout = any_timed_out(results_);
   os << "[\n";
   for (std::size_t i = 0; i < mix_results_.size(); ++i) {
-    os << "  " << mix_result_to_json(mix_results_[i], fault, queue)
+    os << "  " << mix_result_to_json(mix_results_[i], fault, queue, timeout)
        << (i + 1 < mix_results_.size() ? "," : "") << '\n';
   }
   os << "]\n";
@@ -793,11 +906,12 @@ std::vector<std::pair<std::string, double>> ExperimentRunner::normalized(
 
 void ExperimentRunner::write_csv(std::ostream& os) const {
   prof::ScopedPhase prof_phase(prof::Phase::kIo);
-  // The reliability / queue columns appear only when the matching subsystem
-  // is configured, so legacy CSVs keep their historical column set
-  // byte-for-byte.
+  // The reliability / queue / timeout columns appear only when the
+  // matching subsystem is configured (or a watchdog placeholder exists),
+  // so legacy CSVs keep their historical column set byte-for-byte.
   const bool fault = cfg_.fault.enabled();
   const bool queue = queue_configured();
+  const bool timeout = any_timed_out(results_);
   std::vector<std::string> header = {
       "design", "workload", "instructions", "misses", "ipc",
       "hbm_bytes", "dram_bytes", "energy_mj", "hbm_serve_rate",
@@ -814,6 +928,9 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
     header.insert(header.end(),
                   {"queueing_latency_avg", "read_queue_latency_avg",
                    "req_queue_length_avg", "write_drain_count"});
+  }
+  if (timeout) {
+    header.insert(header.end(), {"timed_out"});
   }
   TextTable t(header);
   for (const auto& r : results_) {
@@ -847,6 +964,9 @@ void ExperimentRunner::write_csv(std::ostream& os) const {
                   fmt_double(r.req_queue_length_avg, 4),
                   std::to_string(r.write_drain_count)});
     }
+    if (timeout) {
+      row.insert(row.end(), {std::to_string(r.timed_out ? 1 : 0)});
+    }
     t.add_row(row);
   }
   t.print_csv(os);
@@ -856,9 +976,10 @@ void ExperimentRunner::write_json(std::ostream& os) const {
   prof::ScopedPhase prof_phase(prof::Phase::kIo);
   const bool fault = cfg_.fault.enabled();
   const bool queue = queue_configured();
+  const bool timeout = any_timed_out(results_);
   os << "[\n";
   for (std::size_t i = 0; i < results_.size(); ++i) {
-    os << "  " << result_to_json(results_[i], fault, queue)
+    os << "  " << result_to_json(results_[i], fault, queue, timeout)
        << (i + 1 < results_.size() ? "," : "") << '\n';
   }
   os << "]\n";

@@ -41,8 +41,12 @@ class ResultJournal {
   };
 
   /// Parses journal lines. Malformed lines (e.g. a truncated final line
-  /// from a killed run) are counted and skipped, never fatal.
-  LoadStats load_stats(std::istream& is);
+  /// from a killed run) are counted and skipped, never fatal. When
+  /// `well_formed` is non-null it collects every kept line verbatim, so a
+  /// resuming caller can atomically rewrite a torn journal without the
+  /// truncated tail.
+  LoadStats load_stats(std::istream& is,
+                       std::vector<std::string>* well_formed = nullptr);
 
   /// Back-compat wrapper around load_stats(); returns lines restored.
   std::size_t load(std::istream& is) { return load_stats(is).restored; }
@@ -115,7 +119,21 @@ struct RunMatrixOptions {
   /// Mix matrices only: called per freshly simulated co-run cell in matrix
   /// order (alongside on_result, which sees only the aggregate RunResult).
   std::function<void(const MixResult&)> on_mix_result;
+  /// Watchdog: per-cell soft deadline in host seconds (0 = no deadline).
+  /// A cell past the deadline is interrupted at a record boundary and
+  /// retried — resuming from the snapshot the interrupted attempt left
+  /// behind when SystemConfig::snapshot is configured — up to
+  /// `cell_retries` times. When the retries are exhausted the cell commits
+  /// as a `timed_out` placeholder row (all measurements zero) and the rest
+  /// of the sweep continues.
+  double cell_timeout_s = 0;
+  u32 cell_retries = 1;
 };
+
+/// First unused quarantine path for a corrupt artifact: `path + ".corrupt"`,
+/// then ".corrupt.1", ".corrupt.2", ... — an earlier quarantined file is
+/// never overwritten.
+std::string quarantine_name(const std::string& path);
 
 class ExperimentRunner {
  public:

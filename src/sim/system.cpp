@@ -1,15 +1,37 @@
 #include "sim/system.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 
 #include "bumblebee/controller.h"
 #include "common/check.h"
 #include "common/prof.h"
+#include "common/snapshot.h"
 #include "common/stats.h"
 
 namespace bb::sim {
+
+namespace {
+
+/// Filesystem-safe token for snapshot file names (non-alphanumerics
+/// collapse to '_'; collisions are harmless because the fingerprint
+/// inside the file still pins the exact cell).
+std::string sanitize_token(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9');
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace
 
 System::System(SystemConfig cfg) : cfg_(std::move(cfg)) {}
 
@@ -83,6 +105,29 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
   core.set_capture(cfg_.capture);
   hmmc_->set_core_count(static_cast<u32>(lanes.size()));
 
+  // Trace sources are built here rather than inside run_lanes so a
+  // snapshot can save and restore their cursors alongside the rest of
+  // the simulator state.
+  BB_CHECK(!lanes.empty(), "a run needs at least one lane");
+  std::vector<std::unique_ptr<trace::TraceGenerator>> gens;
+  std::vector<trace::TraceSource*> sources;
+  std::vector<Addr> bases;
+  if (replay != nullptr) {
+    // One lane: a captured trace already merges every core's traffic.
+    sources.push_back(replay);
+    bases.push_back(0);
+  } else {
+    gens.reserve(lanes.size());
+    sources.reserve(lanes.size());
+    bases.reserve(lanes.size());
+    for (const CoreLane& lane : lanes) {
+      gens.push_back(
+          std::make_unique<trace::TraceGenerator>(lane.profile, lane.seed));
+      sources.push_back(gens.back().get());
+      bases.push_back(lane.base);
+    }
+  }
+
   // Observability attachments (all per-run and buffered in memory, so the
   // run itself stays deterministic and jobs-independent).
   MemoryTraceSink sink;
@@ -98,11 +143,128 @@ RunResult System::run_lanes_current(const std::vector<CoreLane>& lanes,
 
   const u64 warmup = static_cast<u64>(
       cfg_.warmup_ratio * static_cast<double>(total_instructions));
-  const CoreResult cr =
-      replay != nullptr
-          ? core.run_sources({replay}, {0}, total_instructions, *hmmc_,
-                             warmup)
-          : core.run_lanes(lanes, total_instructions, *hmmc_, warmup);
+
+  // ---- crash-tolerance: snapshot path, fingerprint, restore ------------
+  const bool snapshotting = cfg_.snapshot.configured();
+  std::string snap_path;
+  std::string fingerprint;
+  if (snapshotting) {
+    const char* kind = replay != nullptr    ? "replay"
+                       : attach_core_perf   ? "mix"
+                                            : "run";
+    if (cfg_.capture != nullptr) {
+      throw std::invalid_argument(
+          "trace capture cannot be combined with snapshots");
+    }
+    if (!hmmc_->snapshot_supported()) {
+      throw std::invalid_argument("design '" + hmmc_->name() +
+                                  "' does not support snapshots");
+    }
+    for (const trace::TraceSource* src : sources) {
+      if (!src->cursor_supported()) {
+        throw std::invalid_argument(
+            "trace source does not support snapshots");
+      }
+    }
+    snap_path = cfg_.snapshot.dir + "/" + kind + "__" +
+                sanitize_token(hmmc_->name()) + "__" +
+                sanitize_token(workload_name) + ".bbsnap";
+    // The fingerprint pins every configuration axis that shapes the run;
+    // restoring under a different configuration fails closed.
+    std::ostringstream fp;
+    fp << kind << '|' << hmmc_->name() << '|' << workload_name << '|'
+       << cfg_.seed << '|' << total_instructions << '|' << lanes.size()
+       << '|' << warmup << '|' << cfg_.core.cores << '|' << cfg_.core.mlp
+       << '|' << cfg_.core.rob_window << '|' << cfg_.core.freq_ghz << '|'
+       << cfg_.hbm.capacity_bytes << '|' << cfg_.hbm.channels << '|'
+       << cfg_.hbm.queue.enabled << '|' << cfg_.hbm.queue.timing_fixes
+       << '|' << cfg_.dram.capacity_bytes << '|' << cfg_.dram.channels
+       << '|' << cfg_.dram.queue.enabled << '|'
+       << cfg_.dram.queue.timing_fixes << '|' << cfg_.paging.enabled << '|'
+       << cfg_.paging.visible_bytes << '|' << cfg_.obs.epoch.every_requests
+       << '|' << cfg_.obs.epoch.every_ticks << '|' << cfg_.obs.trace << '|'
+       << cfg_.fault.enabled() << '|' << cfg_.fault.seed;
+    fingerprint = fp.str();
+  }
+
+  RunLoopState resume_state;
+  RunControl control;
+  const bool want_restore = snapshotting &&
+                            (cfg_.snapshot.restore || restore_once_) &&
+                            snap::file_exists(snap_path);
+  restore_once_ = false;
+  if (want_restore) {
+    // Load order mirrors the checkpoint's save order exactly; every layer
+    // fails closed (SnapshotError) on a shape or presence mismatch.
+    snap::Reader r(snap_path);
+    if (r.get_str() != fingerprint) {
+      throw snap::SnapshotError(
+          "snapshot does not match this run's configuration: " + snap_path);
+    }
+    resume_state.load(r);
+    for (trace::TraceSource* src : sources) src->load_cursor(r);
+    hbm_->load(r);
+    dram_->load(r);
+    const bool had_hbm_faults = r.get_u8() != 0;
+    const bool had_dram_faults = r.get_u8() != 0;
+    if (had_hbm_faults != (hbm_faults_ != nullptr) ||
+        had_dram_faults != (dram_faults_ != nullptr)) {
+      throw snap::SnapshotError("fault-model presence mismatch");
+    }
+    if (hbm_faults_) hbm_faults_->load(r);
+    if (dram_faults_) dram_faults_->load(r);
+    hmmc_->load_state(r);
+    const bool had_sampler = r.get_u8() != 0;
+    if (had_sampler != (sampler != nullptr)) {
+      throw snap::SnapshotError("epoch-sampler presence mismatch");
+    }
+    if (sampler) sampler->load(r);
+    const bool had_sink = r.get_u8() != 0;
+    if (had_sink != cfg_.obs.trace) {
+      throw snap::SnapshotError("trace-sink presence mismatch");
+    }
+    if (cfg_.obs.trace) sink.load(r);
+    if (!r.at_end()) {
+      throw snap::SnapshotError("trailing bytes after snapshot payload");
+    }
+    control.resume = &resume_state;
+  }
+
+  if (snapshotting && cfg_.snapshot.interval_records > 0) {
+    control.checkpoint_every_records = cfg_.snapshot.interval_records;
+    control.on_checkpoint = [&](const RunLoopState& ls) {
+      snap::Writer w;
+      w.put_str(fingerprint);
+      ls.save(w);
+      for (const trace::TraceSource* src : sources) src->save_cursor(w);
+      hbm_->save(w);
+      dram_->save(w);
+      w.put_u8(hbm_faults_ ? 1 : 0);
+      w.put_u8(dram_faults_ ? 1 : 0);
+      if (hbm_faults_) hbm_faults_->save(w);
+      if (dram_faults_) dram_faults_->save(w);
+      hmmc_->save_state(w);
+      w.put_u8(sampler ? 1 : 0);
+      if (sampler) sampler->save(w);
+      w.put_u8(cfg_.obs.trace ? 1 : 0);
+      if (cfg_.obs.trace) sink.save(w);
+      w.commit(snap_path);
+    };
+  }
+  control.interrupted = interrupt_;
+
+  // The control block costs one branch per 64 Ki records; skip it entirely
+  // when neither snapshots nor a watchdog are in play so the hot path is
+  // bit-for-bit the historical loop.
+  const RunControl* ctrl = (snapshotting || interrupt_) ? &control : nullptr;
+  const CoreResult cr = core.run_sources(sources, bases, total_instructions,
+                                         *hmmc_, warmup, ctrl);
+
+  if (snapshotting) {
+    // The run completed: its snapshot (and any torn temp file) is spent.
+    std::remove(snap_path.c_str());
+    std::remove((snap_path + ".tmp").c_str());
+  }
 
   if (sampler) sampler->finish();
   hmmc_->set_epoch_sampler(nullptr);

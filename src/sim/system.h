@@ -41,6 +41,24 @@ struct ObservabilityConfig {
   bool enabled() const { return epoch.enabled() || trace; }
 };
 
+/// Mid-run snapshot / restore configuration (crash-tolerant long runs).
+/// When configured, a run commits an atomic, checksummed snapshot of the
+/// complete simulator state every `interval_records` consumed trace
+/// records, and (with `restore`) resumes from an existing snapshot file —
+/// the resumed run's outputs are byte-identical to an uninterrupted one.
+struct SnapshotConfig {
+  /// Commit a snapshot every N consumed trace records (0 = never).
+  u64 interval_records = 0;
+  /// Directory holding the per-cell snapshot files (empty = disabled).
+  std::string dir;
+  /// Resume runs from their snapshot files when present.
+  bool restore = false;
+
+  bool configured() const {
+    return !dir.empty() && (interval_records > 0 || restore);
+  }
+};
+
 struct SystemConfig {
   mem::DramTimingParams hbm = mem::DramTimingParams::hbm2_1gb();
   mem::DramTimingParams dram = mem::DramTimingParams::ddr4_3200_10gb();
@@ -60,6 +78,9 @@ struct SystemConfig {
   /// in, warmup included) to this sink — the `bbsim --capture-trace` hook.
   /// Not owned; must outlive the runs. nullptr = no capture (default).
   trace::TraceCaptureSink* capture = nullptr;
+  /// Mid-run snapshot/restore (see SnapshotConfig). Mutually exclusive
+  /// with `capture`; requires a snapshot-capable design and trace sources.
+  SnapshotConfig snapshot;
 };
 
 /// Per-run observability payload (epoch rows + trace events), buffered in
@@ -113,6 +134,11 @@ struct RunResult {
   double overfetch = 0;     ///< unused fraction of fetched blocks
   u64 page_faults = 0;
   u64 metadata_sram_bytes = 0;
+
+  /// The run never completed: its matrix cell hit the watchdog deadline
+  /// and exhausted its retries. All measurement fields are zero; writers
+  /// emit the timed_out column only when some row in the sweep set it.
+  bool timed_out = false;
 
   // Request-queue scheduler outcome, aggregated over both devices (all
   // zero when the queue layer is off; the stat names follow ramulator's
@@ -188,6 +214,16 @@ class System {
 
   const SystemConfig& config() const { return cfg_; }
 
+  /// Watchdog hook: polled at record boundaries during a run; returning
+  /// true aborts the run via CoreModel's RunInterrupted (the matrix cell
+  /// soft deadline). An empty function disables polling.
+  void set_interrupt(std::function<bool()> fn) { interrupt_ = std::move(fn); }
+
+  /// Arms a one-shot restore: the next run resumes from its snapshot file
+  /// (if one exists) even without SnapshotConfig::restore — the watchdog's
+  /// retry-from-snapshot path. Cleared after the next run.
+  void allow_restore_once() { restore_once_ = true; }
+
  private:
   RunResult run_current(const trace::WorkloadProfile& workload,
                         u64 instructions);
@@ -211,6 +247,8 @@ class System {
   std::unique_ptr<fault::DeviceFaultState> hbm_faults_;
   std::unique_ptr<fault::DeviceFaultState> dram_faults_;
   std::unique_ptr<hmm::HybridMemoryController> hmmc_;
+  std::function<bool()> interrupt_;
+  bool restore_once_ = false;
 };
 
 /// Normalizes a metric against the "DRAM-only" row of the same workload.

@@ -1,9 +1,12 @@
 #include "trace/generator.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <cmath>
 #include <map>
 #include <set>
+
+#include "common/snapshot.h"
 
 namespace bb::trace {
 namespace {
@@ -139,6 +142,32 @@ StreamStats measure_stream(const std::vector<TraceRecord>& recs) {
   s.top1pct_share =
       static_cast<double>(top_sum) / static_cast<double>(recs.size());
   return s;
+}
+
+void TraceSource::save_cursor(snap::Writer&) const {
+  throw std::invalid_argument("trace source does not support snapshots");
+}
+
+void TraceSource::load_cursor(snap::Reader&) {
+  throw std::invalid_argument("trace source does not support snapshots");
+}
+
+void TraceGenerator::save_cursor(snap::Writer& w) const {
+  for (u64 word : rng_.state()) w.put_u64(word);
+  w.put_u64(scan_cursor_);
+  w.put_u64(hot_cursor_.size());
+  for (u16 c : hot_cursor_) w.put_u32(c);
+}
+
+void TraceGenerator::load_cursor(snap::Reader& r) {
+  std::array<u64, 4> st;
+  for (u64& word : st) word = r.get_u64();
+  rng_.set_state(st);
+  scan_cursor_ = r.get_u64();
+  if (r.get_u64() != hot_cursor_.size()) {
+    throw snap::SnapshotError("hot-region cursor count mismatch");
+  }
+  for (u16& c : hot_cursor_) c = static_cast<u16>(r.get_u32());
 }
 
 }  // namespace bb::trace

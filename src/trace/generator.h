@@ -22,6 +22,11 @@
 #include "common/types.h"
 #include "trace/workload.h"
 
+namespace bb::snap {
+class Reader;
+class Writer;
+}  // namespace bb::snap
+
 namespace bb::trace {
 
 /// One LLC-miss request.
@@ -41,6 +46,13 @@ class TraceSource {
 
   /// Produces the next miss record.
   virtual TraceRecord next() = 0;
+
+  /// Snapshot capability: sources whose read position can be serialized
+  /// and reinstated override these. The defaults are fail-closed — a
+  /// snapshot request against an unsupporting source is a usage error.
+  virtual bool cursor_supported() const { return false; }
+  virtual void save_cursor(snap::Writer& w) const;
+  virtual void load_cursor(snap::Reader& r);
 };
 
 inline constexpr u64 kLineBytes = 64;
@@ -66,6 +78,12 @@ class TraceGenerator : public TraceSource {
   /// Bumblebee page, strong spatial).
   u64 hot_region_bytes() const { return hot_region_bytes_; }
   u64 hot_region_count() const { return hot_regions_; }
+
+  /// Snapshot/restore of the generator position (RNG state + scan and
+  /// per-region cursors); the Zipf table is rebuilt at construction.
+  bool cursor_supported() const override { return true; }
+  void save_cursor(snap::Writer& w) const override;
+  void load_cursor(snap::Reader& r) override;
 
  private:
   Addr hot_address();

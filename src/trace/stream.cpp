@@ -1,5 +1,8 @@
 #include "trace/stream.h"
 
+#include "common/crc32.h"
+#include "common/snapshot.h"
+
 #include <array>
 #include <cstring>
 #include <ios>
@@ -47,38 +50,13 @@ u64 get_u64(const u8* in) {
   return v;
 }
 
-// ---- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) -----------------------
-
-const std::array<u32, 256>& crc_table() {
-  static const std::array<u32, 256> table = [] {
-    std::array<u32, 256> t{};
-    for (u32 i = 0; i < 256; ++i) {
-      u32 c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-constexpr u32 crc32_init() { return 0xFFFFFFFFu; }
-
-u32 crc32_update(u32 state, const u8* data, std::size_t n) {
-  const auto& t = crc_table();
-  for (std::size_t i = 0; i < n; ++i) {
-    state = t[(state ^ data[i]) & 0xFFu] ^ (state >> 8);
-  }
-  return state;
-}
-
-constexpr u32 crc32_final(u32 state) { return state ^ 0xFFFFFFFFu; }
-
-u32 crc32_of(const u8* data, std::size_t n) {
-  return crc32_final(crc32_update(crc32_init(), data, n));
-}
+// CRC32 comes from the shared common/crc32.h implementation (also used by
+// the snapshot container), pulled into this namespace so the call sites
+// below read unqualified.
+using bb::crc32_final;
+using bb::crc32_init;
+using bb::crc32_of;
+using bb::crc32_update;
 
 // ---- varint / zigzag ------------------------------------------------------
 
@@ -640,6 +618,35 @@ void StreamingTraceReader::load_v1_slice() {
   }
   cursor_ = 0;
   records_served_this_lap_ += n;
+}
+
+void StreamingTraceReader::save_cursor(snap::Writer& w) const {
+  // Position = completed laps + records already handed out this lap. The
+  // decoded_ buffer holds a whole chunk; records_served_this_lap_ counts
+  // whole chunks, so subtract the part of the buffer not yet served.
+  const u64 served_in_lap =
+      records_served_this_lap_ - (decoded_.size() - cursor_);
+  w.put_u64(laps_);
+  w.put_u64(served_in_lap);
+}
+
+void StreamingTraceReader::load_cursor(snap::Reader& r) {
+  const u64 target_laps = r.get_u64();
+  const u64 served_in_lap = r.get_u64();
+  if (served_in_lap > info_.records) {
+    throw snap::SnapshotError("stream cursor past end of trace");
+  }
+  rewind_to_first_chunk();
+  while (records_served_this_lap_ < served_in_lap) {
+    if (info_.version == 1) {
+      load_v1_slice();
+    } else {
+      load_next_chunk();
+    }
+  }
+  cursor_ = decoded_.size() -
+            static_cast<std::size_t>(records_served_this_lap_ - served_in_lap);
+  laps_ = target_laps;
 }
 
 // ---- whole-trace helpers --------------------------------------------------

@@ -164,6 +164,15 @@ class StreamingTraceReader : public TraceSource {
   const TraceInfo& info() const { return info_; }
   u64 laps() const { return laps_; }
 
+  /// Snapshot/restore of the replay position (lap count + records served
+  /// within the current lap). Restoring re-decodes at most one lap's worth
+  /// of chunks from the file start, rebuilding the running stream checksum
+  /// along the way, so checksum verification at the next lap boundary
+  /// still covers every record.
+  bool cursor_supported() const override { return true; }
+  void save_cursor(snap::Writer& w) const override;
+  void load_cursor(snap::Reader& r) override;
+
  private:
   void rewind_to_first_chunk();
   void load_next_chunk();

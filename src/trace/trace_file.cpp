@@ -1,5 +1,7 @@
 #include "trace/trace_file.h"
 
+#include "common/snapshot.h"
+
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -72,6 +74,20 @@ std::vector<TraceRecord> load_trace(const std::string& path, bool* ok) {
   }
   if (ok) *ok = true;
   return out;
+}
+
+void TraceReplayer::save_cursor(snap::Writer& w) const {
+  w.put_u64(cursor_);
+  w.put_u64(laps_);
+}
+
+void TraceReplayer::load_cursor(snap::Reader& r) {
+  const u64 cur = r.get_u64();
+  if (cur >= records_.size()) {
+    throw snap::SnapshotError("replay cursor out of range");
+  }
+  cursor_ = static_cast<std::size_t>(cur);
+  laps_ = r.get_u64();
 }
 
 }  // namespace bb::trace

@@ -45,6 +45,11 @@ class TraceReplayer : public TraceSource {
   std::size_t size() const { return records_.size(); }
   u64 laps() const { return laps_; }
 
+  /// Snapshot/restore of the replay position.
+  bool cursor_supported() const override { return true; }
+  void save_cursor(snap::Writer& w) const override;
+  void load_cursor(snap::Reader& r) override;
+
  private:
   std::vector<TraceRecord> records_;
   std::size_t cursor_ = 0;

@@ -1,0 +1,159 @@
+#include "common/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace bb::snap {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Snapshot, RoundTripsEveryType) {
+  const std::string path = tmp_path("roundtrip.bbsnap");
+  Writer w;
+  w.put_u8(7);
+  w.put_u32(0xDEADBEEFu);
+  w.put_u64(0x123456789ABCDEF0ULL);
+  w.put_i64(-42);
+  w.put_f64(3.25);
+  w.put_str("bumblebee");
+  w.put_str("");
+  w.commit(path);
+
+  Reader r(path);
+  EXPECT_EQ(r.get_u8(), 7u);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x123456789ABCDEF0ULL);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_str(), "bumblebee");
+  EXPECT_EQ(r.get_str(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Snapshot, CommitIsAtomic) {
+  const std::string path = tmp_path("atomic.bbsnap");
+  Writer w;
+  w.put_u64(1);
+  w.commit(path);
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // Recommitting over an existing file replaces it whole.
+  Writer w2;
+  w2.put_u64(2);
+  w2.commit(path);
+  Reader r(path);
+  EXPECT_EQ(r.get_u64(), 2u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Snapshot, TagMismatchThrows) {
+  const std::string path = tmp_path("tagmismatch.bbsnap");
+  Writer w;
+  w.put_u64(99);
+  w.commit(path);
+  Reader r(path);
+  EXPECT_THROW(r.get_u32(), SnapshotError);
+}
+
+TEST(Snapshot, ReadPastEndThrows) {
+  const std::string path = tmp_path("pastend.bbsnap");
+  Writer w;
+  w.put_u8(1);
+  w.commit(path);
+  Reader r(path);
+  EXPECT_EQ(r.get_u8(), 1u);
+  EXPECT_THROW(r.get_u8(), SnapshotError);
+}
+
+TEST(Snapshot, PayloadCorruptionFailsClosed) {
+  const std::string path = tmp_path("corrupt.bbsnap");
+  Writer w;
+  for (u64 i = 0; i < 16; ++i) w.put_u64(i);
+  w.commit(path);
+  std::string blob = read_file(path);
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x01);
+  write_raw(path, blob);
+  EXPECT_THROW(Reader r(path), SnapshotError);
+}
+
+TEST(Snapshot, MagicMismatchFailsClosed) {
+  const std::string path = tmp_path("badmagic.bbsnap");
+  Writer w;
+  w.put_u64(1);
+  w.commit(path);
+  std::string blob = read_file(path);
+  blob[0] = 'X';
+  write_raw(path, blob);
+  EXPECT_THROW(Reader r(path), SnapshotError);
+}
+
+TEST(Snapshot, VersionMismatchFailsClosed) {
+  const std::string path = tmp_path("badversion.bbsnap");
+  Writer w;
+  w.put_u64(1);
+  w.commit(path);
+  std::string blob = read_file(path);
+  // u32 version lives right after the 8-byte magic.
+  blob[8] = static_cast<char>(kFormatVersion + 1);
+  write_raw(path, blob);
+  EXPECT_THROW(Reader r(path), SnapshotError);
+}
+
+TEST(Snapshot, TruncationFailsClosed) {
+  const std::string path = tmp_path("truncated.bbsnap");
+  Writer w;
+  for (u64 i = 0; i < 16; ++i) w.put_u64(i);
+  w.commit(path);
+  const std::string blob = read_file(path);
+  write_raw(path, blob.substr(0, blob.size() - 5));
+  EXPECT_THROW(Reader r(path), SnapshotError);
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  EXPECT_THROW(Reader r(tmp_path("does-not-exist.bbsnap")), SnapshotError);
+}
+
+TEST(Snapshot, WriteFileAtomicWritesAndCleansUp) {
+  const std::string path = tmp_path("artifact.csv");
+  write_file_atomic(path, "a,b\n1,2\n");
+  EXPECT_EQ(read_file(path), "a,b\n1,2\n");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  // Overwrite is whole-file, never an append.
+  write_file_atomic(path, "x\n");
+  EXPECT_EQ(read_file(path), "x\n");
+}
+
+TEST(Snapshot, WriteFileAtomicUnwritablePathThrows) {
+  EXPECT_THROW(
+      write_file_atomic("/nonexistent-dir/sub/out.csv", "x"),
+      std::ios_base::failure);
+}
+
+TEST(Snapshot, FileExistsProbe) {
+  const std::string path = tmp_path("exists.probe");
+  EXPECT_FALSE(file_exists(path));
+  write_raw(path, "x");
+  EXPECT_TRUE(file_exists(path));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bb::snap

@@ -1,0 +1,62 @@
+// analyze-expect: snapshot-schema=4
+//
+// Positive fixture for the snapshot-schema rule, one defect per class:
+// (1) SkewedTypes writes a u64 that the load reads back as a u32, (2)
+// ShortLoad writes three fields but reads only two, (3) OneSided defines a
+// save_cursor with no load_cursor anywhere, and (4) ForgottenChild
+// serializes a sub-object on the save side only. Each skew silently
+// corrupts every field deserialized after it. Never compiled.
+#include <cstdint>
+
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
+class SkewedTypes {
+ public:
+  void save(snap::Writer& w) const { w.put_u64(epoch_); }
+  void load(snap::Reader& r) { epoch_ = r.get_u32(); }
+
+ private:
+  std::uint64_t epoch_ = 0;
+};
+
+class ShortLoad {
+ public:
+  void save_state(snap::Writer& w) const {
+    w.put_u32(head_);
+    w.put_u8(open_ ? 1 : 0);
+    w.put_u64(mass_);
+  }
+  void load_state(snap::Reader& r) {
+    head_ = r.get_u32();
+    open_ = r.get_u8() != 0;
+  }
+
+ private:
+  std::uint32_t head_ = 0;
+  bool open_ = false;
+  std::uint64_t mass_ = 0;
+};
+
+class OneSided {
+ public:
+  void save_cursor(snap::Writer& w) const { w.put_u64(pos_); }
+
+ private:
+  std::uint64_t pos_ = 0;
+};
+
+class ForgottenChild {
+ public:
+  void save(snap::Writer& w) const {
+    w.put_u64(epoch_);
+    child_.save(w);
+  }
+  void load(snap::Reader& r) { epoch_ = r.get_u64(); }
+
+ private:
+  SkewedTypes child_;
+  std::uint64_t epoch_ = 0;
+};

@@ -1,0 +1,63 @@
+// analyze-expect: snapshot-schema=0
+//
+// Negative fixture for the snapshot-schema rule: one inline save/load pair
+// with a size-prefixed loop, and one out-of-line save_state/load_state pair
+// with a nested sub-object call on each side. Field order, field types, and
+// nested call counts all agree, so the rule stays silent. Never compiled.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snap {
+class Writer;
+class Reader;
+}  // namespace snap
+
+class RowCursor {
+ public:
+  void save(snap::Writer& w) const {
+    w.put_u64(rows_.size());
+    for (const Row& row : rows_) {
+      w.put_u32(row.index);
+      w.put_u8(row.live ? 1 : 0);
+    }
+    w.put_str(label_);
+  }
+
+  void load(snap::Reader& r) {
+    rows_.resize(r.get_u64());
+    for (Row& row : rows_) {
+      row.index = r.get_u32();
+      row.live = r.get_u8() != 0;
+    }
+    label_ = r.get_str();
+  }
+
+ private:
+  struct Row {
+    std::uint32_t index = 0;
+    bool live = false;
+  };
+  std::vector<Row> rows_;
+  std::string label_;
+};
+
+class DeviceState {
+ public:
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
+ private:
+  RowCursor cursor_;
+  std::uint64_t touches_ = 0;
+};
+
+void DeviceState::save_state(snap::Writer& w) const {
+  w.put_u64(touches_);
+  cursor_.save(w);
+}
+
+void DeviceState::load_state(snap::Reader& r) {
+  touches_ = r.get_u64();
+  cursor_.load(r);
+}
